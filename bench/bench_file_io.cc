@@ -1,0 +1,153 @@
+// E11 — file I/O across migration (thesis chapter 5).
+//
+// Paper: open streams keep working after migration at native speed (the I/O
+// server re-attributes them); access positions shared across hosts move to
+// the I/O server and cost a round trip per operation; concurrent write
+// sharing disables caching and every access becomes server traffic.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fs/client.h"
+#include "util/stats.h"
+
+using sprite::core::SpriteCluster;
+using sprite::fs::OpenFlags;
+using sprite::fs::StreamPtr;
+using sprite::sim::Time;
+using sprite::util::Table;
+
+namespace {
+
+// Mean latency of `reps` sequential 4 KB reads on stream `s` at host `h`.
+double read_latency_ms(SpriteCluster& cluster, sprite::sim::HostId h,
+                       const StreamPtr& s, int reps) {
+  sprite::util::Accumulator acc;
+  for (int i = 0; i < reps; ++i) {
+    cluster.host(h).fs().seek(s, (i % 16) * 4096);
+    const Time t0 = cluster.sim().now();
+    bool done = false;
+    cluster.host(h).fs().read(s, 4096, [&](sprite::util::Result<sprite::fs::Bytes> r) {
+      SPRITE_CHECK(r.is_ok());
+      done = true;
+    });
+    cluster.kernel().run_until_done([&] { return done; });
+    acc.add((cluster.sim().now() - t0).ms());
+  }
+  return acc.mean();
+}
+
+StreamPtr open_blocking(SpriteCluster& cluster, sprite::sim::HostId h,
+                        const std::string& path, OpenFlags flags) {
+  StreamPtr out;
+  bool done = false;
+  cluster.host(h).fs().open(path, flags,
+                            [&](sprite::util::Result<StreamPtr> r) {
+                              SPRITE_CHECK(r.is_ok());
+                              out = *r;
+                              done = true;
+                            });
+  cluster.kernel().run_until_done([&] { return done; });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E11: file I/O across migration (bench_file_io)",
+      "migrated streams run at native speed; server-managed shared offsets "
+      "cost a round trip per op; write sharing disables caching");
+
+  SpriteCluster cluster({.workstations = 4, .seed = 53});
+  auto* server = cluster.kernel().file_server().fs_server();
+  server->create_file("/iodata", 64 * 1024);
+
+  const auto src = cluster.workstation(0);
+  const auto dst = cluster.workstation(1);
+
+  Table t({"scenario", "mean 4KB read ms", "note"});
+
+  // 1. Plain cached reads before migration (warm the cache first).
+  auto s = open_blocking(cluster, src, "/iodata", OpenFlags::read_only());
+  read_latency_ms(cluster, src, s, 16);  // warm
+  const double local_ms = read_latency_ms(cluster, src, s, 64);
+  t.add_row({"cached reads at home", Table::num(local_ms, 3),
+             "client cache hits"});
+
+  // 2. The stream migrates (sole owner): native speed on the new host once
+  //    its cache warms.
+  sprite::fs::ExportedStream exported;
+  {
+    bool done = false;
+    cluster.host(src).fs().export_stream(
+        s, dst, false, [&](sprite::util::Result<sprite::fs::ExportedStream> r) {
+          SPRITE_CHECK(r.is_ok());
+          exported = *r;
+          done = true;
+        });
+    cluster.kernel().run_until_done([&] { return done; });
+  }
+  auto s_dst = cluster.host(dst).fs().import_stream(exported);
+  const double first_ms = read_latency_ms(cluster, dst, s_dst, 16);
+  const double warm_ms = read_latency_ms(cluster, dst, s_dst, 64);
+  t.add_row({"after migration, cold cache", Table::num(first_ms, 3),
+             "server fetches once"});
+  t.add_row({"after migration, warm cache", Table::num(warm_ms, 3),
+             "back to native speed"});
+
+  // 3. Fork-shared offset split across hosts: server-managed position.
+  auto shared = open_blocking(cluster, src, "/iodata", OpenFlags::read_only());
+  shared->local_refs = 2;  // another local process shares it (as after fork)
+  sprite::fs::ExportedStream shared_exp;
+  {
+    bool done = false;
+    cluster.host(src).fs().export_stream(
+        shared, dst, true,
+        [&](sprite::util::Result<sprite::fs::ExportedStream> r) {
+          SPRITE_CHECK(r.is_ok());
+          shared_exp = *r;
+          done = true;
+        });
+    cluster.kernel().run_until_done([&] { return done; });
+  }
+  auto shared_dst = cluster.host(dst).fs().import_stream(shared_exp);
+  sprite::util::Accumulator shared_acc;
+  for (int i = 0; i < 64; ++i) {
+    const Time t0 = cluster.sim().now();
+    bool done = false;
+    cluster.host(dst).fs().read(shared_dst, 4096,
+                                [&](sprite::util::Result<sprite::fs::Bytes> r) {
+                                  SPRITE_CHECK(r.is_ok());
+                                  done = true;
+                                });
+    cluster.kernel().run_until_done([&] { return done; });
+    shared_acc.add((cluster.sim().now() - t0).ms());
+    if (shared_dst->server_offset && (i % 8) == 7) {
+      // rewind via the source's half of the group to keep reading
+      bool d2 = false;
+      cluster.host(dst).fs().read(shared_dst, 0,
+                                  [&](sprite::util::Result<sprite::fs::Bytes>) {
+                                    d2 = true;
+                                  });
+      cluster.kernel().run_until_done([&] { return d2; });
+    }
+  }
+  t.add_row({"shared offset (server-managed)", Table::num(shared_acc.mean(), 3),
+             "one RPC per operation"});
+
+  // 4. Concurrent write sharing: caching disabled, all ops go through.
+  auto w0 = open_blocking(cluster, src, "/iodata", OpenFlags::read_write());
+  auto w1 = open_blocking(cluster, dst, "/iodata", OpenFlags::read_write());
+  cluster.run_for(Time::msec(100));  // disable callbacks settle
+  const double uncached_ms = read_latency_ms(cluster, dst, w1, 64);
+  t.add_row({"write-shared (uncacheable)", Table::num(uncached_ms, 3),
+             "every read is server traffic"});
+
+  t.print();
+
+  bench::footnote(
+      "Shape checks: warm post-migration reads match pre-migration reads\n"
+      "(transferred state, not forwarding); server-managed offsets and\n"
+      "uncacheable write-shared files each pay ~an RPC per operation.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Engine micro-benchmarks (wall-clock, via google-benchmark).
+//
+// Not a paper reproduction: these measure the simulator substrate itself so
+// regressions in the event loop, RPC path, or FS path are visible. All other
+// bench binaries report *simulated* time.
+#include <benchmark/benchmark.h>
+
+#include "core/sprite.h"
+#include "kern/cluster.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using sprite::sim::Time;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sprite::sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i)
+      sim.after(Time::usec(i), [] {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_RpcRoundTrips(benchmark::State& state) {
+  for (auto _ : state) {
+    sprite::kern::Cluster cluster(
+        {.num_workstations = 2, .num_file_servers = 1});
+    int done = 0;
+    for (int i = 0; i < 100; ++i) {
+      cluster.host(1).rpc().call(
+          2, sprite::rpc::ServiceId::kProc,
+          static_cast<int>(sprite::proc::ProcOp::kGetHostName), nullptr,
+          [&](sprite::util::Result<sprite::rpc::Reply>) { ++done; });
+    }
+    cluster.run_until_done([&] { return done == 100; });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RpcRoundTrips);
+
+void BM_FsCachedReads(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sprite::kern::Cluster cluster(
+        {.num_workstations = 1, .num_file_servers = 1});
+    cluster.file_server().fs_server()->create_file("/f", 64 * 1024);
+    sprite::fs::StreamPtr s;
+    bool opened = false;
+    cluster.host(1).fs().open("/f", sprite::fs::OpenFlags::read_only(),
+                              [&](sprite::util::Result<sprite::fs::StreamPtr> r) {
+                                s = *r;
+                                opened = true;
+                              });
+    cluster.run_until_done([&] { return opened; });
+    state.ResumeTiming();
+
+    int reads = 0;
+    for (int i = 0; i < 200; ++i) {
+      cluster.host(1).fs().seek(s, (i % 16) * 4096);
+      cluster.host(1).fs().read(s, 4096,
+                                [&](sprite::util::Result<sprite::fs::Bytes>) {
+                                  ++reads;
+                                });
+    }
+    cluster.run_until_done([&] { return reads == 200; });
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_FsCachedReads);
+
+void BM_ExecTimeMigration(benchmark::State& state) {
+  for (auto _ : state) {
+    sprite::core::SpriteCluster cluster(
+        {.workstations = 3, .enable_load_sharing = false});
+    sprite::proc::ScriptBuilder work;
+    work.exit(0);
+    cluster.install_program("/bin/n", work.image(4, 4, 2));
+    sprite::proc::ScriptBuilder launch;
+    launch
+        .act(sprite::proc::SysMigrateSelf{.target = cluster.workstation(1),
+                                          .at_exec = true})
+        .act(sprite::proc::SysExec{"/bin/n", {}});
+    cluster.install_program("/bin/l", launch.image(4, 4, 2));
+    const auto pid = cluster.spawn(cluster.workstation(0), "/bin/l", {});
+    cluster.wait(pid);
+  }
+}
+BENCHMARK(BM_ExecTimeMigration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Ablation — splitting the namespace across two file servers
+// (thesis ch. 9: "It would be edifying to expand Sprite ... and to evaluate
+// how the file system ... [is] stressed"; Welch's thesis discusses servers
+// handling many more clients).
+//
+// The E3 compile workload reruns with the shared headers exported by a
+// second file server: per-open name lookups split across two CPUs, so the
+// single-server saturation point moves out — an alternative cure to client
+// name caching (E12) for the same bottleneck.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using sprite::apps::make_compile_graph_at;
+using sprite::core::SpriteCluster;
+using sprite::sim::Time;
+using sprite::util::Table;
+
+namespace {
+
+struct Point {
+  double speedup;
+  double s0_util;
+  double s1_util;
+};
+
+Point run(int hosts, int servers, double serial_s) {
+  SpriteCluster cluster({.workstations = hosts + 1,
+                         .file_servers = servers,
+                         .seed = 33});
+  const std::string header_root = servers > 1 ? "/s1" : "";
+  if (servers > 1)
+    SPRITE_CHECK(cluster.kernel().file_server(1).fs_server()->mkdir_p("/s1").is_ok());
+  auto graph =
+      make_compile_graph_at(48, 28, Time::sec(4), Time::sec(6), header_root);
+  cluster.warm_up();
+  const Time t0 = cluster.sim().now();
+  auto r = bench::run_pmake(cluster, graph, hosts + 1, true);
+  const Time t1 = cluster.sim().now();
+  Point p;
+  p.speedup = serial_s / r.makespan.s();
+  p.s0_util = cluster.kernel().file_server(0).cpu().busy_time(
+                  sprite::sim::JobClass::kKernel) /
+              (t1 - t0 + Time::usec(1));
+  p.s1_util = servers > 1
+                  ? cluster.kernel().file_server(1).cpu().busy_time(
+                        sprite::sim::JobClass::kKernel) /
+                        (t1 - t0 + Time::usec(1))
+                  : 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation: one vs two file servers (bench_two_servers)",
+      "splitting name-lookup load across servers moves the pmake saturation "
+      "point out (thesis ch. 9 scaling direction)");
+
+  // Serial baseline (single server, single host).
+  double serial_s;
+  {
+    SpriteCluster cluster({.workstations = 2, .seed = 33});
+    serial_s = bench::run_pmake(
+                   cluster,
+                   make_compile_graph_at(48, 28, Time::sec(4), Time::sec(6),
+                                         ""),
+                   1, false)
+                   .makespan.s();
+  }
+
+  Table t({"hosts", "servers", "speedup", "server0 util", "server1 util"});
+  for (int hosts : {8, 12, 16}) {
+    auto one = run(hosts, 1, serial_s);
+    auto two = run(hosts, 2, serial_s);
+    t.add_row({std::to_string(hosts), "1", Table::num(one.speedup, 2),
+               Table::num(one.s0_util, 2), "-"});
+    t.add_row({std::to_string(hosts), "2", Table::num(two.speedup, 2),
+               Table::num(two.s0_util, 2), Table::num(two.s1_util, 2)});
+  }
+  t.print();
+
+  bench::footnote(
+      "Shape check: source/output traffic moves off the header server and\n"
+      "the speedup curve climbs higher before bending — but only as far as\n"
+      "the namespace split balances the load: the header server becomes the\n"
+      "next bottleneck (its utilization matches the old single server's).\n"
+      "Client name caching (E12) attacks the same bottleneck from the other\n"
+      "side and composes with this.");
+  return 0;
+}

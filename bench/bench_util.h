@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary reproduces one table or figure from the thesis (see
+// DESIGN.md's experiment index): it runs the mechanisms in simulation and
+// prints the measured rows next to the values the paper reports. Absolute
+// numbers depend on the calibration in sim/costs.h; the claims under test
+// are the *shapes* (who wins, by what factor, where curves bend).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sprite.h"
+#include "util/table.h"
+
+namespace bench {
+
+inline void header(const char* experiment, const char* paper_claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==================================================================\n\n");
+}
+
+inline void footnote(const char* text) { std::printf("\n%s\n", text); }
+
+// Blocking pmake run.
+inline sprite::apps::Pmake::Result run_pmake(
+    sprite::core::SpriteCluster& cluster,
+    std::vector<sprite::apps::Target> targets, int max_jobs, bool parallel) {
+  sprite::apps::Pmake::Options opt;
+  opt.controller = cluster.workstation(0);
+  opt.max_jobs = max_jobs;
+  opt.facility = parallel ? &cluster.load_sharing() : nullptr;
+  sprite::apps::Pmake pmake(cluster.kernel(), opt, std::move(targets));
+  pmake.prepare();
+  bool done = false;
+  sprite::apps::Pmake::Result result;
+  pmake.run([&](sprite::apps::Pmake::Result r) {
+    result = r;
+    done = true;
+  });
+  cluster.kernel().run_until_done([&] { return done; });
+  return result;
+}
+
+}  // namespace bench

@@ -1,0 +1,68 @@
+// eviction_demo: workstation autonomy.
+//
+// A researcher farms three long simulations out to idle colleagues'
+// workstations. One colleague comes back and touches the keyboard: every
+// foreign process is evicted home within seconds, and still finishes
+// correctly. "The nice thing about an Alto is that it doesn't get faster at
+// night" — but a Sprite network does, without sacrificing anyone's machine.
+//
+//   ./example_eviction_demo
+#include <cstdio>
+
+#include "core/sprite.h"
+
+using sprite::core::SpriteCluster;
+using sprite::proc::ScriptBuilder;
+using sprite::sim::Time;
+
+int main() {
+  SpriteCluster cluster({.workstations = 5, .seed = 5});
+  cluster.warm_up();
+
+  // A simulation: dirty a decent working set, then grind CPU.
+  ScriptBuilder b;
+  b.act(sprite::proc::Touch{sprite::vm::Segment::kHeap, 0, 512, true})
+      .compute(Time::minutes(3))
+      .exit(0);
+  cluster.install_program("/bin/sim", b.image(16, 512, 4));
+
+  const auto owner = cluster.workstation(0);
+  auto hosts = cluster.request_idle_hosts(owner, 3);
+  std::printf("migd granted %zu idle hosts\n", hosts.size());
+
+  std::vector<sprite::proc::Pid> pids;
+  for (auto h : hosts) {
+    auto pid = cluster.spawn(owner, "/bin/sim", {});
+    cluster.run_for(Time::msec(100));
+    auto st = cluster.migrate(pid, h);
+    std::printf("  simulation %llu -> %s (%s)\n",
+                static_cast<unsigned long long>(pid),
+                cluster.host(h).name().c_str(), st.to_string().c_str());
+    pids.push_back(pid);
+  }
+
+  cluster.run_for(Time::sec(30));
+  const auto victim = hosts[0];
+  std::printf("\n%s's owner returns and touches the keyboard...\n",
+              cluster.host(victim).name().c_str());
+  const auto t0 = cluster.sim().now();
+  cluster.host(victim).note_user_input();
+  cluster.run_for(Time::sec(5));
+  std::printf("foreign processes on %s after eviction: %zu "
+              "(reclaimed in < 5 s of simulated time; eviction began at "
+              "%.1f s)\n",
+              cluster.host(victim).name().c_str(),
+              cluster.host(victim).procs().foreign_processes().size(),
+              t0.s());
+
+  std::printf("\nevicted simulation now runs on %s (its home)\n",
+              cluster.host(cluster.locate(pids[0])).name().c_str());
+
+  for (auto pid : pids) {
+    const int status = cluster.wait(pid);
+    std::printf("simulation %llu finished with status %d on %s\n",
+                static_cast<unsigned long long>(pid), status,
+                cluster.host(sprite::proc::pid_home(pid)).name().c_str());
+  }
+  return 0;
+}

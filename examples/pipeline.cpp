@@ -1,0 +1,94 @@
+// pipeline: communicating processes and migration.
+//
+// A producer and a consumer talk through a pipe — whose buffer lives at the
+// file server, so neither end knows where the other runs. Mid-stream the
+// producer is migrated to another workstation; the consumer sees an
+// uninterrupted, in-order byte stream. "The migration of a process is
+// transparent to the processes with which it communicates."
+//
+//   ./example_pipeline
+#include <cstdio>
+
+#include "core/sprite.h"
+
+using sprite::core::SpriteCluster;
+using sprite::proc::Action;
+using sprite::proc::ScriptBuilder;
+using sprite::proc::ScriptProgram;
+using sprite::sim::Time;
+
+int main() {
+  SpriteCluster cluster({.workstations = 3, .seed = 7});
+
+  // One program, two roles after fork: the child produces ten numbered
+  // chunks (sleeping between them); the parent consumes until EOF and
+  // verifies the sequence.
+  ScriptBuilder b;
+  b.act(sprite::proc::SysPipe{});
+  b.step([](ScriptProgram::Ctx& c) {
+    c.locals["rd"] = c.view->rv;
+    c.locals["wr"] = c.view->aux;
+    return sprite::proc::SysFork{};
+  });
+  b.step([](ScriptProgram::Ctx& c) -> Action {
+    c.locals["child"] = c.view->is_child ? 1 : 0;
+    if (c.locals["child"])
+      return sprite::proc::SysClose{static_cast<int>(c.locals["rd"])};
+    return sprite::proc::SysClose{static_cast<int>(c.locals["wr"])};
+  });
+  const int loop = b.next_index();
+  b.step([loop](ScriptProgram::Ctx& c) -> Action {
+    if (c.locals["child"]) {
+      if (c.locals["i"] >= 10) return sprite::proc::SysExit{0};
+      c.jump(loop + 1);
+      return sprite::proc::Pause{Time::msec(250)};
+    }
+    c.jump(loop + 2);
+    return sprite::proc::SysRead{static_cast<int>(c.locals["rd"]), 64};
+  });
+  b.step([loop](ScriptProgram::Ctx& c) -> Action {  // producer body
+    const std::string chunk = "<" + std::to_string(c.locals["i"]++) + ">";
+    c.jump(loop);
+    return sprite::proc::SysWrite{static_cast<int>(c.locals["wr"]),
+                                  sprite::fs::Bytes(chunk.begin(), chunk.end()),
+                                  0};
+  });
+  b.step([loop](ScriptProgram::Ctx& c) -> Action {  // consumer body
+    if (!c.view->data.empty()) {
+      c.note(std::string(c.view->data.begin(), c.view->data.end()));
+      c.jump(loop);
+      return sprite::proc::Compute{Time::zero()};
+    }
+    std::string all, expect;
+    for (const auto& t : c.trace) all += t;
+    for (int i = 0; i < 10; ++i) expect += "<" + std::to_string(i) + ">";
+    return sprite::proc::SysExit{all == expect ? 0 : 1};
+  });
+  cluster.install_program("/bin/pipeline", b.image());
+
+  const auto parent = cluster.spawn(cluster.workstation(0), "/bin/pipeline", {});
+  std::printf("producer | consumer running on %s\n",
+              cluster.host(cluster.workstation(0)).name().c_str());
+
+  // Let a few chunks flow, then migrate the producer (the forked child).
+  cluster.run_for(Time::msec(900));
+  sprite::proc::Pid producer = sprite::proc::kInvalidPid;
+  for (const auto& pcb :
+       cluster.host(cluster.workstation(0)).procs().local_processes()) {
+    if (pcb->pid != parent) producer = pcb->pid;
+  }
+  auto st = cluster.migrate(producer, cluster.workstation(2));
+  std::printf("migrated the producer to %s mid-stream: %s\n",
+              cluster.host(cluster.workstation(2)).name().c_str(),
+              st.to_string().c_str());
+
+  const int produced = cluster.wait(producer);
+  const int consumed = cluster.wait(parent);
+  std::printf("producer exit=%d, consumer exit=%d (0 means every chunk "
+              "arrived, in order)\n",
+              produced, consumed);
+  std::printf("\nThe pipe's buffer lives at the file server; migration moved "
+              "the producer's\nstream attribution, and the consumer never "
+              "noticed.\n");
+  return consumed;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the SpriteCluster API in one tour.
+//
+// Builds a small cluster, runs a program, transparently migrates it mid-run,
+// and shows that its identity (pid, hostname, open files) survives the move
+// — the property the whole system exists to provide.
+//
+//   ./example_quickstart
+#include <cstdio>
+
+#include "core/sprite.h"
+
+using sprite::core::SpriteCluster;
+using sprite::proc::Action;
+using sprite::proc::ScriptBuilder;
+using sprite::proc::ScriptProgram;
+using sprite::sim::Time;
+
+int main() {
+  SpriteCluster cluster({.workstations = 4});
+  std::printf("cluster: %d workstations + 1 file server on one Ethernet\n\n",
+              cluster.num_workstations());
+
+  // A program that records its identity, sleeps (we migrate it then),
+  // records identity again, and writes both observations to a file.
+  ScriptBuilder b;
+  b.act(sprite::proc::SysGetPid{})
+      .step([](ScriptProgram::Ctx& c) {
+        c.locals["pid"] = c.view->rv;
+        return sprite::proc::SysGetHostName{};
+      })
+      .step([](ScriptProgram::Ctx& c) {
+        c.note("before-migration host=" + c.view->text);
+        return sprite::proc::Pause{Time::sec(2)};
+      })
+      .act(sprite::proc::SysGetHostName{})
+      .step([](ScriptProgram::Ctx& c) {
+        c.note("after-migration  host=" + c.view->text);
+        return sprite::proc::SysOpen{"/report",
+                                     sprite::fs::OpenFlags::create_rw()};
+      })
+      .step([](ScriptProgram::Ctx& c) {
+        c.locals["fd"] = c.view->rv;
+        std::string out = "pid=" + std::to_string(c.locals["pid"]) + "\n";
+        for (const auto& line : c.trace) out += line + "\n";
+        return sprite::proc::SysWrite{
+            static_cast<int>(c.locals["fd"]),
+            sprite::fs::Bytes(out.begin(), out.end()), 0};
+      })
+      .step([](ScriptProgram::Ctx& c) {
+        return sprite::proc::SysFsync{static_cast<int>(c.locals["fd"])};
+      })
+      .exit(0);
+  cluster.install_program("/bin/tour", b.image());
+
+  const auto home = cluster.workstation(0);
+  const auto away = cluster.workstation(2);
+  const auto pid = cluster.spawn(home, "/bin/tour", {});
+  std::printf("spawned pid %llu on %s (its home machine)\n",
+              static_cast<unsigned long long>(pid),
+              cluster.host(home).name().c_str());
+
+  cluster.run_for(Time::msec(500));  // it is now sleeping
+  auto st = cluster.migrate(pid, away);
+  std::printf("migrate -> %s: %s\n", cluster.host(away).name().c_str(),
+              st.to_string().c_str());
+  std::printf("kernel says the process now runs on %s\n",
+              cluster.host(cluster.locate(pid)).name().c_str());
+
+  const int status = cluster.wait(pid);
+  std::printf("process exited with status %d\n\n", status);
+
+  // Read the report it wrote through the shared file system.
+  auto* server = cluster.kernel().file_server().fs_server();
+  auto stat = server->stat_path("/report");
+  auto data = server->read_direct(stat->id, 0, stat->size);
+  std::printf("contents of /report:\n%s\n",
+              std::string(data->begin(), data->end()).c_str());
+
+  const auto& rec = cluster.host(home).mig().last_record();
+  std::printf("migration record: total %.1f ms, frozen for %.1f ms, "
+              "%lld stream(s) moved\n",
+              rec.total_time().ms(), rec.freeze_time().ms(),
+              static_cast<long long>(rec.streams_moved));
+  std::printf("\nNote: gethostname reported the HOME machine both times — "
+              "that is Sprite's transparency.\n");
+  return status;
+}

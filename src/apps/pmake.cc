@@ -1,0 +1,347 @@
+#include "apps/pmake.h"
+
+#include <algorithm>
+
+#include "kern/cluster.h"
+#include "proc/script.h"
+#include "proc/table.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::apps {
+
+using proc::Action;
+using proc::ProgramImage;
+using proc::ScriptProgram;
+using sim::HostId;
+using sim::Time;
+
+namespace {
+
+// Builds the compile-job program from its "command line":
+//   cc -o <out> -c <cpu_us> -r <read_bytes> -w <write_bytes> <inputs...>
+std::unique_ptr<proc::Program> make_cc_program(
+    const std::vector<std::string>& args) {
+  std::string out;
+  std::int64_t cpu_us = 500000, read_bytes = 32768, write_bytes = 24576;
+  auto files = std::make_shared<std::vector<std::string>>();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out = args[++i];
+    } else if (args[i] == "-c" && i + 1 < args.size()) {
+      cpu_us = std::stoll(args[++i]);
+    } else if (args[i] == "-r" && i + 1 < args.size()) {
+      read_bytes = std::stoll(args[++i]);
+    } else if (args[i] == "-w" && i + 1 < args.size()) {
+      write_bytes = std::stoll(args[++i]);
+    } else {
+      files->push_back(args[i]);
+    }
+  }
+
+  std::vector<ScriptProgram::Step> steps;
+  // 0: loop head — open the next input, or jump past the loop when done.
+  steps.push_back([files](ScriptProgram::Ctx& c) -> Action {
+    const auto i = static_cast<std::size_t>(c.locals["i"]);
+    if (i >= files->size()) {
+      c.jump(4);
+      return proc::Compute{Time::zero()};
+    }
+    return proc::SysOpen{(*files)[i], fs::OpenFlags::read_only()};
+  });
+  // 1: read it.
+  steps.push_back([read_bytes](ScriptProgram::Ctx& c) -> Action {
+    if (!c.view->status.is_ok()) {  // missing input: skip read
+      c.locals["fd"] = -1;
+      c.jump(3);
+      return proc::Compute{Time::zero()};
+    }
+    c.locals["fd"] = c.view->rv;
+    return proc::SysRead{static_cast<int>(c.locals["fd"]), read_bytes};
+  });
+  // 2: close it.
+  steps.push_back([](ScriptProgram::Ctx& c) -> Action {
+    return proc::SysClose{static_cast<int>(c.locals["fd"])};
+  });
+  // 3: advance the loop.
+  steps.push_back([](ScriptProgram::Ctx& c) -> Action {
+    ++c.locals["i"];
+    c.jump(0);
+    return proc::Compute{Time::zero()};
+  });
+  // 4: "compile": dirty a working set, then burn CPU.
+  steps.push_back([](ScriptProgram::Ctx&) -> Action {
+    return proc::Touch{vm::Segment::kHeap, 0, 64, true};
+  });
+  steps.push_back([cpu_us](ScriptProgram::Ctx&) -> Action {
+    return proc::Compute{Time::usec(cpu_us)};
+  });
+  // 6: create the output.
+  steps.push_back([out](ScriptProgram::Ctx&) -> Action {
+    fs::OpenFlags flags = fs::OpenFlags::create_rw();
+    flags.truncate = true;
+    return proc::SysOpen{out, flags};
+  });
+  // 7: write it (delayed write, like a real compiler).
+  steps.push_back([write_bytes](ScriptProgram::Ctx& c) -> Action {
+    c.locals["ofd"] = c.view->rv;
+    return proc::SysWrite{static_cast<int>(c.locals["ofd"]), {}, write_bytes};
+  });
+  // 8: close + exit.
+  steps.push_back([](ScriptProgram::Ctx& c) -> Action {
+    return proc::SysClose{static_cast<int>(c.locals["ofd"])};
+  });
+  steps.push_back([](ScriptProgram::Ctx&) -> Action { return proc::SysExit{0}; });
+  return std::make_unique<ScriptProgram>(std::move(steps));
+}
+
+// Launcher ("remote exec"): optionally arm exec-time migration, then exec
+// the named program. args: <target-host|-1> <exe> <exe args...>
+std::unique_ptr<proc::Program> make_launcher_program(
+    const std::vector<std::string>& args) {
+  SPRITE_CHECK_MSG(args.size() >= 2, "launcher: <host> <exe> [args...]");
+  const auto target = static_cast<HostId>(std::stol(args[0]));
+  const std::string exe = args[1];
+  const std::vector<std::string> exe_args(args.begin() + 2, args.end());
+
+  std::vector<ScriptProgram::Step> steps;
+  if (target != sim::kInvalidHost) {
+    steps.push_back([target](ScriptProgram::Ctx&) -> Action {
+      return proc::SysMigrateSelf{.target = target, .at_exec = true};
+    });
+  }
+  steps.push_back([exe, exe_args](ScriptProgram::Ctx&) -> Action {
+    return proc::SysExec{exe, exe_args};
+  });
+  return std::make_unique<ScriptProgram>(std::move(steps));
+}
+
+}  // namespace
+
+void install_rexec(kern::Cluster& cluster) {
+  if (cluster.find_program("/bin/rexec") != nullptr) return;
+  ProgramImage launcher;
+  launcher.factory = make_launcher_program;
+  launcher.code_pages = 4;
+  launcher.heap_pages = 4;
+  launcher.stack_pages = 2;
+  SPRITE_CHECK(cluster.install_program("/bin/rexec", launcher).is_ok());
+}
+
+void install_cc(kern::Cluster& cluster) {
+  install_rexec(cluster);
+  if (cluster.find_program("/bin/cc") != nullptr) return;
+  ProgramImage cc;
+  cc.factory = make_cc_program;
+  cc.code_pages = 128;  // a compiler is a fat binary
+  cc.heap_pages = 256;
+  cc.stack_pages = 8;
+  SPRITE_CHECK(cluster.install_program("/bin/cc", cc).is_ok());
+}
+
+std::vector<Target> make_compile_graph(int n, int shared_headers,
+                                       Time compile_cpu, Time link_cpu) {
+  return make_compile_graph_at(n, shared_headers, compile_cpu, link_cpu, "");
+}
+
+std::vector<Target> make_compile_graph_at(int n, int shared_headers,
+                                          Time compile_cpu, Time link_cpu,
+                                          const std::string& header_root) {
+  std::vector<Target> targets;
+  // Headers live deep in the shared tree, as Sprite's did — every component
+  // of every open is a server-side lookup.
+  std::vector<std::string> headers;
+  for (int h = 0; h < shared_headers; ++h)
+    headers.push_back(header_root + "/sprite/lib/include/sys/h" +
+                      std::to_string(h) + ".h");
+
+  std::vector<std::string> objects;
+  for (int i = 0; i < n; ++i) {
+    Target t;
+    t.name = "/src/f" + std::to_string(i) + ".o";
+    t.deps = {"/src/f" + std::to_string(i) + ".c"};
+    t.includes = headers;
+    t.cpu = compile_cpu;
+    targets.push_back(t);
+    objects.push_back(t.name);
+  }
+  Target link;
+  link.name = "/src/prog";
+  link.deps = objects;  // the serial tail
+  link.cpu = link_cpu;
+  link.write_bytes = 256 * 1024;
+  targets.push_back(link);
+  return targets;
+}
+
+Pmake::Pmake(kern::Cluster& cluster, Options options,
+             std::vector<Target> targets)
+    : cluster_(cluster), options_(options), targets_(std::move(targets)) {
+  SPRITE_CHECK(options_.controller != sim::kInvalidHost);
+  for (const auto& t : targets_) by_name_[t.name] = &t;
+}
+
+void Pmake::prepare() {
+  install_cc(cluster_);
+  auto* server = cluster_.file_server().fs_server();
+  auto ensure_file = [server](const std::string& path, std::int64_t size) {
+    const auto slash = path.rfind('/');
+    if (slash != std::string::npos && slash > 0)
+      server->mkdir_p(path.substr(0, slash));
+    auto r = server->create_file(path, size);
+    (void)r;  // kExist is fine: shared headers appear in many targets
+  };
+  server->mkdir_p("/src");
+  for (const auto& t : targets_) {
+    for (const auto& d : t.deps) {
+      if (by_name_.count(d)) continue;  // built, not a source
+      ensure_file(d, t.read_bytes);
+    }
+    for (const auto& inc : t.includes) ensure_file(inc, t.read_bytes);
+  }
+}
+
+bool Pmake::deps_ready(const Target& t) const {
+  for (const auto& d : t.deps) {
+    if (by_name_.count(d) && !done_.count(d)) return false;
+  }
+  return true;
+}
+
+const Target& Pmake::target(const std::string& name) const {
+  return *by_name_.at(name);
+}
+
+void Pmake::run(std::function<void(Result)> done) {
+  done_cb_ = std::move(done);
+  started_ = cluster_.sim().now();
+  schedule();
+}
+
+void Pmake::schedule() {
+  if (finished_) return;
+
+  // Honour cooperative recall: migd may have reassigned some of our pooled
+  // hosts to another requester for fairness; stop dispatching to them.
+  if (options_.facility != nullptr) {
+    for (sim::HostId r :
+         options_.facility->selector(options_.controller).take_revoked()) {
+      idle_pool_.erase(std::remove(idle_pool_.begin(), idle_pool_.end(), r),
+                       idle_pool_.end());
+    }
+  }
+
+  std::vector<std::string> ready;
+  for (const auto& t : targets_) {
+    if (done_.count(t.name) || building_.count(t.name)) continue;
+    if (deps_ready(t)) ready.push_back(t.name);
+  }
+
+  if (ready.empty() && building_.empty()) {
+    finished_ = true;
+    result_.makespan = cluster_.sim().now() - started_;
+    // Hand every pooled host back.
+    if (options_.facility != nullptr) {
+      for (HostId h : idle_pool_)
+        options_.facility->selector(options_.controller).release_host(h);
+    }
+    idle_pool_.clear();
+    done_cb_(result_);
+    return;
+  }
+
+  std::size_t next = 0;
+  while (next < ready.size() && running_ < options_.max_jobs) {
+    if (!idle_pool_.empty()) {
+      const HostId h = idle_pool_.back();
+      idle_pool_.pop_back();
+      launch(ready[next++], h);
+      continue;
+    }
+    const int local_cap = options_.facility == nullptr
+                              ? options_.max_jobs
+                              : (options_.run_local_job ? 1 : 0);
+    if (local_running_ < local_cap) {
+      launch(ready[next++], sim::kInvalidHost);
+      continue;
+    }
+    break;
+  }
+
+  // Still work but no hosts: ask the facility for more.
+  const int unstarted = static_cast<int>(ready.size() - next);
+  if (unstarted > 0 && options_.facility != nullptr && !requesting_) {
+    requesting_ = true;
+    const int want = std::min(unstarted, options_.max_jobs - running_);
+    if (want <= 0) {
+      requesting_ = false;
+      return;
+    }
+    options_.facility->selector(options_.controller)
+        .request_hosts(want, [this](std::vector<HostId> hosts) {
+          requesting_ = false;
+          for (HostId h : hosts) idle_pool_.push_back(h);
+          if (hosts.empty()) {
+            // Nothing idle right now; poll again shortly.
+            cluster_.sim().after(Time::sec(1), [this] { schedule(); });
+          } else {
+            schedule();
+          }
+        });
+  }
+}
+
+void Pmake::launch(const std::string& name, HostId remote) {
+  building_.insert(name);
+  ++running_;
+  if (remote == sim::kInvalidHost) ++local_running_;
+
+  const Target& t = target(name);
+  std::vector<std::string> args;
+  args.push_back(std::to_string(remote));
+  args.push_back("/bin/cc");
+  args.push_back("-o");
+  args.push_back(t.name);
+  args.push_back("-c");
+  args.push_back(std::to_string(t.cpu.us()));
+  args.push_back("-r");
+  args.push_back(std::to_string(t.read_bytes));
+  args.push_back("-w");
+  args.push_back(std::to_string(t.write_bytes));
+  for (const auto& d : t.deps) args.push_back(d);
+  for (const auto& inc : t.includes) args.push_back(inc);
+
+  result_.total_job_cpu += t.cpu;
+  ++result_.jobs;
+  if (remote != sim::kInvalidHost) ++result_.remote_jobs;
+
+  auto& procs = cluster_.host(options_.controller).procs();
+  procs.spawn("/bin/rexec", std::move(args),
+              [this, name, remote](util::Result<proc::Pid> r) {
+                if (!r.is_ok()) {
+                  LOG_WARN("pmake", "spawn failed: %s",
+                           r.status().to_string().c_str());
+                  job_finished(name, remote);
+                  return;
+                }
+                cluster_.host(options_.controller)
+                    .procs()
+                    .notify_on_exit(*r, [this, name, remote](int) {
+                      job_finished(name, remote);
+                    });
+              });
+}
+
+void Pmake::job_finished(const std::string& name, HostId remote) {
+  building_.erase(name);
+  done_.insert(name);
+  --running_;
+  if (remote == sim::kInvalidHost) {
+    --local_running_;
+  } else {
+    idle_pool_.push_back(remote);  // reuse the host for the next job
+  }
+  schedule();
+}
+
+}  // namespace sprite::apps

@@ -1,0 +1,118 @@
+// pmake: parallel make over process migration (thesis chapter 7).
+//
+// Like Sprite's pmake, the controller builds a dependency graph, finds
+// targets whose dependencies are satisfied, and recreates independent
+// targets in parallel — farming jobs out to idle hosts with exec-time
+// migration obtained from the load-sharing facility, and running one job
+// locally. Each compile job is a real simulated process: it opens its
+// sources and headers (paying server name lookups — the bottleneck that
+// saturates the speedup curve in experiment E3), reads them through the
+// client cache, consumes compile CPU, and writes its output file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "loadshare/facility.h"
+#include "proc/program.h"
+#include "sim/time.h"
+
+namespace sprite::kern {
+class Cluster;
+}
+
+namespace sprite::apps {
+
+// One buildable target (or a leaf source file if `leaf` is true).
+struct Target {
+  std::string name;                    // output path
+  std::vector<std::string> deps;       // targets or source paths
+  std::vector<std::string> includes;   // extra files opened (headers)
+  sim::Time cpu = sim::Time::msec(500);     // compile CPU demand
+  std::int64_t read_bytes = 32 * 1024;      // per dependency read
+  std::int64_t write_bytes = 24 * 1024;     // output size
+};
+
+class Pmake {
+ public:
+  struct Options {
+    sim::HostId controller = sim::kInvalidHost;  // user's workstation
+    int max_jobs = 8;              // overall parallelism cap
+    bool run_local_job = true;     // keep one job on the controller
+    // When null, everything runs on the controller (plain `make`).
+    ls::Facility* facility = nullptr;
+  };
+
+  struct Result {
+    sim::Time makespan;
+    int jobs = 0;
+    int remote_jobs = 0;
+    sim::Time total_job_cpu;  // sum of per-job CPU demands
+  };
+
+  Pmake(kern::Cluster& cluster, Options options, std::vector<Target> targets);
+
+  // Installs the /bin/cc image (idempotent per cluster) and creates the
+  // source/header files the graph references. Call once before run().
+  void prepare();
+
+  // Builds everything; `done` fires with the result.
+  void run(std::function<void(Result)> done);
+
+ private:
+  struct Job {
+    std::string target;
+    sim::HostId remote = sim::kInvalidHost;  // granted host, if any
+  };
+
+  void schedule();
+  void launch(const std::string& target, sim::HostId remote);
+  void job_finished(const std::string& target, sim::HostId remote);
+  bool deps_ready(const Target& t) const;
+  const Target& target(const std::string& name) const;
+
+  kern::Cluster& cluster_;
+  Options options_;
+  std::vector<Target> targets_;
+  std::map<std::string, const Target*> by_name_;
+  std::set<std::string> done_;
+  std::set<std::string> building_;
+  int running_ = 0;
+  int local_running_ = 0;
+  bool requesting_ = false;
+  bool finished_ = false;
+  sim::Time started_;
+  Result result_;
+  std::function<void(Result)> done_cb_;
+  std::vector<sim::HostId> idle_pool_;  // granted, currently unused hosts
+};
+
+// Registers the shared /bin/cc image used by every Pmake instance in the
+// cluster. Safe to call multiple times.
+void install_cc(kern::Cluster& cluster);
+
+// Registers /bin/rexec, the generic "remote exec" launcher:
+//   rexec <target-host|-1> <exe> <args...>
+// arms exec-time migration to the target (when given) and execs the program.
+void install_rexec(kern::Cluster& cluster);
+
+// Builds a representative compilation graph: `n` object files, each
+// depending on its own source plus `shared_headers` common headers, and one
+// final link target depending on every object (the Amdahl serial tail).
+std::vector<Target> make_compile_graph(int n, int shared_headers,
+                                       sim::Time compile_cpu,
+                                       sim::Time link_cpu);
+
+// As above, with the shared headers rooted under `header_root` (e.g. "/s1"
+// to place them on a second file server — the thesis's chapter-9 scaling
+// direction).
+std::vector<Target> make_compile_graph_at(int n, int shared_headers,
+                                          sim::Time compile_cpu,
+                                          sim::Time link_cpu,
+                                          const std::string& header_root);
+
+}  // namespace sprite::apps

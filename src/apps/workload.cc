@@ -1,0 +1,246 @@
+#include "apps/workload.h"
+
+#include "apps/pmake.h"
+#include "kern/cluster.h"
+#include "migration/manager.h"
+#include "proc/script.h"
+#include "proc/table.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::apps {
+
+using proc::Pid;
+using sim::HostId;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// UserActivityModel
+// ---------------------------------------------------------------------------
+
+UserActivityModel::Profile UserActivityModel::Profile::office() {
+  Profile p;
+  p.weekend_factor = 0.5;
+  for (int h = 0; h < 24; ++h) {
+    if (h >= 9 && h < 18) {
+      p.presence[static_cast<std::size_t>(h)] = 0.46;  // office hours
+    } else if (h >= 18 && h < 21) {
+      p.presence[static_cast<std::size_t>(h)] = 0.34;  // evening stragglers
+    } else {
+      p.presence[static_cast<std::size_t>(h)] = 0.26;  // night owls
+    }
+  }
+  return p;
+}
+
+UserActivityModel::UserActivityModel(kern::Cluster& cluster, Profile profile)
+    : cluster_(cluster),
+      profile_(profile),
+      rng_(cluster.sim().fork_rng()) {}
+
+void UserActivityModel::start() {
+  for (HostId w : cluster_.workstations()) {
+    present_[w] = false;
+    const Time stagger = Time::sec(rng_.uniform(0.0, 60.0));
+    cluster_.sim().after(stagger, [this, w] { cycle(w); });
+  }
+}
+
+bool UserActivityModel::user_present(HostId h) const {
+  auto it = present_.find(h);
+  return it != present_.end() && it->second;
+}
+
+double UserActivityModel::presence_now() const {
+  const double hours_total = cluster_.sim().now().h();
+  const int hour = static_cast<int>(hours_total) % 24;
+  const int day = (static_cast<int>(hours_total) / 24) % 7;
+  double p = profile_.presence[static_cast<std::size_t>(hour)];
+  if (day >= 5) p *= profile_.weekend_factor;
+  return p;
+}
+
+void UserActivityModel::cycle(HostId h) {
+  if (rng_.bernoulli(presence_now())) {
+    present_[h] = true;
+    cluster_.host(h).note_user_input();
+    const Time session =
+        Time::sec(rng_.exponential(profile_.mean_session.s()));
+    keystrokes(h, cluster_.sim().now() + session);
+  } else {
+    present_[h] = false;
+    const Time absence =
+        Time::sec(rng_.exponential(profile_.mean_absence.s()));
+    cluster_.sim().after(absence, [this, h] { cycle(h); });
+  }
+}
+
+void UserActivityModel::keystrokes(HostId h, Time session_end) {
+  const Time gap =
+      Time::sec(rng_.exponential(profile_.mean_keystroke_gap.s()));
+  const Time next = cluster_.sim().now() + gap;
+  if (next >= session_end) {
+    // Session over; the user walks away.
+    cluster_.sim().at(session_end, [this, h] {
+      present_[h] = false;
+      cycle(h);
+    });
+    return;
+  }
+  cluster_.sim().at(next, [this, h, session_end] {
+    cluster_.host(h).note_user_input();
+    keystrokes(h, session_end);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// PolicyWorkload
+// ---------------------------------------------------------------------------
+
+const char* PolicyWorkload::policy_name(Policy p) {
+  switch (p) {
+    case Policy::kNone: return "local-only";
+    case Policy::kPlacement: return "exec-time-placement";
+    case Policy::kPlacementPlusMigration: return "placement+migration";
+  }
+  return "?";
+}
+
+PolicyWorkload::PolicyWorkload(kern::Cluster& cluster, ls::Facility& facility,
+                               Options options)
+    : cluster_(cluster),
+      facility_(facility),
+      options_(options),
+      rng_(cluster.sim().fork_rng()),
+      lifetimes_(cluster.sim().fork_rng()) {}
+
+void PolicyWorkload::arrival(HostId h) {
+  const double gap_s = rng_.exponential(1.0 / options_.arrivals_per_host_hz);
+  const Time next = cluster_.sim().now() + Time::sec(gap_s);
+  if (next > deadline_) return;
+  cluster_.sim().at(next, [this, h] {
+    submit(h, lifetimes_.next());
+    arrival(h);
+  });
+}
+
+void PolicyWorkload::submit(HostId h, Time lifetime) {
+  ++result_.jobs_submitted;
+  ++outstanding_;
+  const Time arrival_time = cluster_.sim().now();
+
+  auto launch = [this, h, lifetime, arrival_time](HostId target) {
+    std::vector<std::string> args;
+    std::string exe;
+    if (target == sim::kInvalidHost) {
+      exe = "/bin/job";
+      args = {std::to_string(lifetime.us())};
+    } else {
+      exe = "/bin/rexec";
+      args = {std::to_string(target), "/bin/job",
+              std::to_string(lifetime.us())};
+      ++result_.placed_remotely;
+    }
+    cluster_.host(h).procs().spawn(
+        exe, std::move(args),
+        [this, h, lifetime, arrival_time, target](util::Result<Pid> r) {
+          if (!r.is_ok()) {
+            --outstanding_;
+            return;
+          }
+          cluster_.host(h).procs().notify_on_exit(
+              *r, [this, h, lifetime, arrival_time, target](int) {
+                const Time response = cluster_.sim().now() - arrival_time;
+                result_.response_s.add(response.s());
+                result_.slowdown.add(response.s() /
+                                     std::max(0.05, lifetime.s()));
+                ++result_.jobs_finished;
+                --outstanding_;
+                if (target != sim::kInvalidHost)
+                  facility_.selector(h).release_host(target);
+              });
+        });
+  };
+
+  const bool local_busy = cluster_.host(h).cpu().runnable_users() >= 1;
+  if (options_.policy == Policy::kNone || !local_busy) {
+    launch(sim::kInvalidHost);
+    return;
+  }
+  facility_.selector(h).request_hosts(1, [launch](std::vector<HostId> hosts) {
+    launch(hosts.empty() ? sim::kInvalidHost : hosts[0]);
+  });
+}
+
+void PolicyWorkload::rebalance() {
+  for (HostId w : cluster_.workstations()) {
+    auto& host = cluster_.host(w);
+    if (host.cpu().runnable_users() < 2) continue;
+    // Find a home-grown long-running process to move (foreign ones are
+    // someone else's responsibility).
+    const Time now = cluster_.sim().now();
+    for (const auto& pcb : host.procs().local_processes()) {
+      if (pcb->foreign()) continue;
+      if (now - pcb->spawned_at < options_.long_running_age) continue;
+      if (pcb->state != proc::ProcState::kRunnable) continue;
+      facility_.selector(w).request_hosts(
+          1, [this, w, pid = pcb->pid](std::vector<HostId> hosts) {
+            if (hosts.empty()) return;
+            auto pcb = cluster_.host(w).procs().find(pid);
+            if (!pcb || pcb->state != proc::ProcState::kRunnable) {
+              facility_.selector(w).release_host(hosts[0]);
+              return;
+            }
+            ++result_.active_migrations;
+            cluster_.host(w).mig().migrate(
+                pcb, hosts[0],
+                [this, w, pid, h = hosts[0]](util::Status s) {
+                  if (!s.is_ok()) {
+                    facility_.selector(w).release_host(h);
+                    return;
+                  }
+                  // Release the rebalance grant when the moved process
+                  // finishes (its home is w, so the record lives there).
+                  cluster_.host(w).procs().notify_on_exit(
+                      pid, [this, w, h](int) {
+                        facility_.selector(w).release_host(h);
+                      });
+                });
+          });
+      break;  // at most one move per host per scan
+    }
+  }
+}
+
+PolicyWorkload::Result PolicyWorkload::run() {
+  install_rexec(cluster_);
+  if (cluster_.find_program("/bin/job") == nullptr) {
+    proc::ProgramImage job;
+    job.code_pages = 8;
+    job.heap_pages = 16;
+    job.stack_pages = 2;
+    job.factory = [](const std::vector<std::string>& args) {
+      SPRITE_CHECK(!args.empty());
+      const Time cpu = Time::usec(std::stoll(args[0]));
+      proc::ScriptBuilder b;
+      b.compute(cpu).exit(0);
+      return std::unique_ptr<proc::Program>(b.build());
+    };
+    SPRITE_CHECK(cluster_.install_program("/bin/job", job).is_ok());
+  }
+
+  deadline_ = cluster_.sim().now() + options_.duration;
+  for (HostId w : cluster_.workstations()) arrival(w);
+  if (options_.policy == Policy::kPlacementPlusMigration) {
+    cluster_.sim().every(
+        options_.rebalance_period, [this] { rebalance(); },
+        cluster_.sim().now() + options_.duration);
+  }
+  const Time end = cluster_.sim().now() + options_.duration;
+  cluster_.run_until_done([this, end] {
+    return cluster_.sim().now() >= end && outstanding_ == 0;
+  });
+  return std::move(result_);
+}
+
+}  // namespace sprite::apps

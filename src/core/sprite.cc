@@ -1,0 +1,126 @@
+#include "core/sprite.h"
+
+#include "util/assert.h"
+
+namespace sprite::core {
+
+using proc::Pid;
+using sim::HostId;
+using sim::Time;
+
+SpriteCluster::SpriteCluster() : SpriteCluster(Options{}) {}
+
+SpriteCluster::SpriteCluster(Options options)
+    : options_(options),
+      cluster_({.num_workstations = options.workstations,
+                .num_file_servers = options.file_servers,
+                .seed = options.seed,
+                .costs = options.costs,
+                .horizon = options.horizon}) {
+  if (options_.enable_load_sharing) {
+    facility_ = std::make_unique<ls::Facility>(cluster_, options_.selection);
+  }
+}
+
+ls::Facility& SpriteCluster::load_sharing() {
+  SPRITE_CHECK_MSG(facility_ != nullptr, "load sharing disabled");
+  return *facility_;
+}
+
+HostId SpriteCluster::workstation(int i) const {
+  auto ws = cluster_.workstations();
+  SPRITE_CHECK(i >= 0 && static_cast<std::size_t>(i) < ws.size());
+  return ws[static_cast<std::size_t>(i)];
+}
+
+int SpriteCluster::num_workstations() const {
+  return static_cast<int>(cluster_.workstations().size());
+}
+
+void SpriteCluster::install_program(const std::string& path,
+                                    proc::ProgramImage image) {
+  SPRITE_CHECK(cluster_.install_program(path, std::move(image)).is_ok());
+}
+
+Pid SpriteCluster::spawn(HostId where, const std::string& exe,
+                         std::vector<std::string> args) {
+  util::Result<Pid> out(util::Err::kAgain);
+  bool done = false;
+  cluster_.host(where).procs().spawn(exe, std::move(args),
+                                     [&](util::Result<Pid> r) {
+                                       out = std::move(r);
+                                       done = true;
+                                     });
+  cluster_.run_until_done([&] { return done; });
+  SPRITE_CHECK_MSG(out.is_ok(), "spawn failed");
+  return *out;
+}
+
+int SpriteCluster::wait(Pid pid) {
+  const HostId home = proc::pid_home(pid);
+  int status = -1;
+  bool done = false;
+  cluster_.host(home).procs().notify_on_exit(pid, [&](int s) {
+    status = s;
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  return status;
+}
+
+util::Status SpriteCluster::migrate(Pid pid, HostId target) {
+  const HostId home = proc::pid_home(pid);
+  const HostId where = cluster_.host(home).procs().home_record_location(pid);
+  if (where == sim::kInvalidHost)
+    return util::Status(util::Err::kSrch, "no such process");
+  auto pcb = cluster_.host(where).procs().find(pid);
+  if (!pcb) return util::Status(util::Err::kSrch, "process table miss");
+  util::Status out(util::Err::kAgain);
+  bool done = false;
+  cluster_.host(where).mig().migrate(pcb, target, [&](util::Status s) {
+    out = s;
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  return out;
+}
+
+int SpriteCluster::evict(HostId host) {
+  int evicted = -1;
+  bool done = false;
+  cluster_.host(host).mig().evict_all_foreign([&](int n) {
+    evicted = n;
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  return evicted;
+}
+
+std::vector<HostId> SpriteCluster::request_idle_hosts(HostId requester,
+                                                      int n) {
+  std::vector<HostId> out;
+  bool done = false;
+  load_sharing().selector(requester).request_hosts(
+      n, [&](std::vector<HostId> hosts) {
+        out = std::move(hosts);
+        done = true;
+      });
+  cluster_.run_until_done([&] { return done; });
+  return out;
+}
+
+void SpriteCluster::release_host(HostId requester, HostId granted) {
+  load_sharing().selector(requester).release_host(granted);
+  run_for(Time::msec(100));
+}
+
+void SpriteCluster::run_for(Time duration) {
+  cluster_.sim().run_until(cluster_.sim().now() + duration);
+}
+
+HostId SpriteCluster::locate(Pid pid) {
+  const HostId home = proc::pid_home(pid);
+  return cluster_.host(home).procs().home_record_location(pid);
+}
+
+}  // namespace sprite::core

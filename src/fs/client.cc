@@ -1,0 +1,1006 @@
+#include "fs/client.h"
+
+#include <algorithm>
+
+#include "fs/pdev.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::fs {
+
+using rpc::Reply;
+using rpc::Request;
+using rpc::ServiceId;
+using sim::HostId;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+FsClient::FsClient(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
+                   const sim::Costs& costs)
+    : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {}
+
+void FsClient::register_services() {
+  rpc_.register_service(
+      ServiceId::kFsCallback,
+      [this](HostId, const Request& req, std::function<void(Reply)> respond) {
+        handle_callback(req, std::move(respond));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Prefix table
+// ---------------------------------------------------------------------------
+
+void FsClient::add_prefix(const std::string& prefix, HostId server) {
+  prefixes_.emplace_back(prefix, server);
+}
+
+util::Result<HostId> FsClient::route(const std::string& path) const {
+  const HostId* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, server] : prefixes_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    if (best == nullptr || prefix.size() > best_len) {
+      best = &server;
+      best_len = prefix.size();
+    }
+  }
+  if (best == nullptr) return {Err::kNoEnt, "no prefix for " + path};
+  return *best;
+}
+
+std::int64_t FsClient::new_group_id() {
+  return ((static_cast<std::int64_t>(rpc_.host()) + 1) << 32) | next_group_++;
+}
+
+FsClient::FileState& FsClient::state_for(FileId id) { return files_[id]; }
+
+// ---------------------------------------------------------------------------
+// Name operations
+// ---------------------------------------------------------------------------
+
+void FsClient::open(const std::string& path, OpenFlags flags, OpenCb cb) {
+  auto server = route(path);
+  if (!server.is_ok()) return cb(server.status());
+  auto body = std::make_shared<OpenReq>();
+  body->path = path;
+  body->flags = flags;
+  if (name_cache_enabled_) {
+    auto it = name_cache_.find(path);
+    if (it != name_cache_.end()) {
+      body->hint = it->second;
+      ++stats_.name_cache_hits;
+    }
+  }
+  rpc_.call(
+      *server, ServiceId::kFsName, static_cast<int>(NameOp::kOpen), body,
+      [this, path, flags, body, cb = std::move(cb)](util::Result<Reply> r) {
+        if (!r.is_ok()) return cb(r.status());
+        if (!r->status.is_ok()) {
+          if (body->hint != kInvalidIno) {
+            // Stale hint (e.g. the file was replaced): drop the cached name
+            // and retry with a full lookup.
+            ++stats_.name_cache_stale;
+            name_cache_.erase(path);
+            auto retry = std::make_shared<OpenReq>();
+            retry->path = path;
+            retry->flags = flags;
+            auto cb2 = std::move(cb);
+            rpc_.call(*route(path), ServiceId::kFsName,
+                      static_cast<int>(NameOp::kOpen), retry,
+                      [this, path, flags, cb2 = std::move(cb2)](
+                          util::Result<Reply> r2) {
+                        if (!r2.is_ok()) return cb2(r2.status());
+                        if (!r2->status.is_ok()) return cb2(r2->status);
+                        finish_open(path, flags, r2->body, std::move(cb2));
+                      });
+            return;
+          }
+          return cb(r->status);
+        }
+        finish_open(path, flags, r->body, std::move(cb));
+      });
+}
+
+void FsClient::finish_open(const std::string& path, OpenFlags flags,
+                           const rpc::MessagePtr& reply_body, OpenCb cb) {
+  auto rep = rpc::body_cast<OpenRep>(reply_body);
+  SPRITE_CHECK(rep != nullptr);
+  const OpenResult& res = rep->result;
+
+  auto s = std::make_shared<Stream>();
+  s->group = new_group_id();
+  s->file = res.id;
+  s->type = res.type;
+  s->flags = flags;
+  s->cacheable = res.cacheable;
+  s->size_hint = res.size;
+  s->pdev_host = res.pdev_host;
+  s->pdev_tag = res.pdev_tag;
+
+  if (res.type == FileType::kRegular) {
+    if (name_cache_enabled_) name_cache_[path] = res.id.ino;
+    FileState& st = state_for(res.id);
+    if (st.version != res.version) {
+      // Our cached blocks predate the latest write-open elsewhere.
+      // The consistency protocol guarantees dirty data was recalled
+      // before the version moved, so everything left is safely
+      // discardable.
+      for (auto it = st.blocks.begin(); it != st.blocks.end();) {
+        auto lit = lru_index_.find({res.id, it->first});
+        if (lit != lru_index_.end()) {
+          lru_.erase(lit->second);
+          lru_index_.erase(lit);
+        }
+        it = st.blocks.erase(it);
+      }
+      st.version = res.version;
+    }
+    st.cacheable = res.cacheable;
+    st.size = res.size;
+    ++st.open_streams;
+  }
+  cb(s);
+}
+
+void FsClient::close(const StreamPtr& s, StatusCb cb) {
+  if (s->type == FileType::kPseudoDevice) {
+    sim_.after(Time::zero(), [cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+  auto it = files_.find(s->file);
+  if (it != files_.end() && it->second.open_streams > 0)
+    --it->second.open_streams;
+  auto body = std::make_shared<CloseReq>();
+  body->id = s->file;
+  body->flags = s->flags;
+  rpc_.call(s->file.server, ServiceId::kFsName,
+            static_cast<int>(NameOp::kClose), body,
+            [cb = std::move(cb)](util::Result<Reply> r) {
+              cb(r.is_ok() ? r->status : r.status());
+            });
+}
+
+void FsClient::unlink(const std::string& path, StatusCb cb) {
+  name_cache_.erase(path);
+  auto server = route(path);
+  if (!server.is_ok()) return cb(server.status());
+  auto body = std::make_shared<PathReq>();
+  body->path = path;
+  rpc_.call(*server, ServiceId::kFsName, static_cast<int>(NameOp::kUnlink),
+            body, [cb = std::move(cb)](util::Result<Reply> r) {
+              cb(r.is_ok() ? r->status : r.status());
+            });
+}
+
+void FsClient::mkdir(const std::string& path, StatusCb cb) {
+  auto server = route(path);
+  if (!server.is_ok()) return cb(server.status());
+  auto body = std::make_shared<PathReq>();
+  body->path = path;
+  rpc_.call(*server, ServiceId::kFsName, static_cast<int>(NameOp::kMkdir),
+            body, [cb = std::move(cb)](util::Result<Reply> r) {
+              cb(r.is_ok() ? r->status : r.status());
+            });
+}
+
+void FsClient::stat(const std::string& path, StatCb cb) {
+  auto server = route(path);
+  if (!server.is_ok()) return cb(server.status());
+  auto body = std::make_shared<PathReq>();
+  body->path = path;
+  rpc_.call(*server, ServiceId::kFsName, static_cast<int>(NameOp::kStat), body,
+            [cb = std::move(cb)](util::Result<Reply> r) {
+              if (!r.is_ok()) return cb(r.status());
+              if (!r->status.is_ok()) return cb(r->status);
+              auto rep = rpc::body_cast<StatRep>(r->body);
+              SPRITE_CHECK(rep != nullptr);
+              cb(rep->st);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// I/O
+// ---------------------------------------------------------------------------
+
+util::Status FsClient::seek(const StreamPtr& s, std::int64_t offset) {
+  if (s->server_offset)
+    return Status(Err::kInval, "offset is server-managed");
+  if (offset < 0) return Status(Err::kInval, "negative offset");
+  s->offset = offset;
+  return Status::ok();
+}
+
+void FsClient::read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
+  if (s->type == FileType::kPseudoDevice)
+    return cb(Status(Err::kNotSupported, "use pdev_call"));
+  if (!s->flags.read) return cb(Status(Err::kBadF, "not open for reading"));
+  if (s->type == FileType::kPipe) return pipe_read(s, len, std::move(cb));
+
+  if (s->server_offset) {
+    auto body = std::make_shared<GroupIoReq>();
+    body->id = s->file;
+    body->group = s->group;
+    body->len = len;
+    rpc_.call(s->file.server, ServiceId::kFsIo,
+              static_cast<int>(IoOp::kGroupRead), body,
+              [cb = std::move(cb)](util::Result<Reply> r) {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                auto rep = rpc::body_cast<GroupIoRep>(r->body);
+                SPRITE_CHECK(rep != nullptr);
+                cb(rep->data);
+              });
+    return;
+  }
+
+  const std::int64_t offset = s->offset;
+  auto done = [s, cb = std::move(cb)](util::Result<Bytes> r) {
+    if (r.is_ok()) s->offset += static_cast<std::int64_t>(r->size());
+    cb(std::move(r));
+  };
+
+  const auto it = files_.find(s->file);
+  const bool use_cache = s->cacheable && !s->flags.no_cache &&
+                         it != files_.end() && it->second.cacheable;
+  if (use_cache) {
+    cached_read(s, offset, len, std::move(done));
+  } else {
+    remote_read(s->file, offset, len, std::move(done));
+  }
+}
+
+void FsClient::cached_read(const StreamPtr& s, std::int64_t offset,
+                           std::int64_t len, ReadCb cb) {
+  FileState& st = state_for(s->file);
+  len = std::min(len, st.size - offset);
+  if (len <= 0) return cb(Bytes{});
+
+  const std::int64_t first = offset / costs_.block_size;
+  const std::int64_t last = (offset + len - 1) / costs_.block_size;
+
+  // Collect missing block runs.
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;
+  for (std::int64_t blk = first; blk <= last; ++blk) {
+    if (st.blocks.count(blk)) {
+      ++stats_.cache_hit_blocks;
+      touch_lru(s->file, blk);
+      continue;
+    }
+    ++stats_.cache_miss_blocks;
+    if (!runs.empty() && runs.back().second == blk - 1) {
+      runs.back().second = blk;
+    } else {
+      runs.emplace_back(blk, blk);
+    }
+  }
+
+  auto assemble = [this, s, offset, len, cb = std::move(cb)]() {
+    FileState& st = state_for(s->file);
+    Bytes out;
+    out.reserve(static_cast<std::size_t>(len));
+    bool missing = false;
+    for (std::int64_t pos = offset; pos < offset + len;) {
+      const std::int64_t blk = pos / costs_.block_size;
+      const std::int64_t boff = pos % costs_.block_size;
+      const std::int64_t n =
+          std::min(costs_.block_size - boff, offset + len - pos);
+      auto bit = st.blocks.find(blk);
+      if (bit == st.blocks.end()) {
+        missing = true;  // evicted under memory pressure mid-operation
+        break;
+      }
+      const Bytes& data = bit->second.data;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(boff + i);
+        out.push_back(idx < data.size() ? data[idx] : 0);
+      }
+      pos += n;
+    }
+    if (missing) {
+      // Rare fallback: bypass the cache for this read.
+      remote_read(s->file, offset, len, std::move(cb));
+      return;
+    }
+    cb(std::move(out));
+  };
+
+  if (runs.empty()) {
+    // Pure cache hit: costs only local CPU, charged by the syscall layer.
+    sim_.after(Time::zero(), std::move(assemble));
+    return;
+  }
+
+  // Fetch runs sequentially, then assemble.
+  // Self-referential step function: the lambda captures only a WEAK ref to
+  // itself (a strong self-capture would be a shared_ptr cycle and leak the
+  // captured state); every caller — the kick-off below and each pending
+  // continuation — holds a strong ref for the duration of the call.
+  auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
+  *fetch_next = [this, s, runs, assemble = std::move(assemble),
+                 wself = std::weak_ptr<std::function<void(std::size_t)>>(
+                     fetch_next)](std::size_t i) mutable {
+    auto fetch_next = wself.lock();
+    SPRITE_CHECK(fetch_next != nullptr);
+    if (i >= runs.size()) {
+      assemble();
+      return;
+    }
+    fetch_blocks(s->file, runs[i].first, runs[i].second,
+                 [fetch_next, i](Status) { (*fetch_next)(i + 1); });
+  };
+  (*fetch_next)(0);
+}
+
+void FsClient::fetch_blocks(FileId id, std::int64_t first, std::int64_t last,
+                            std::function<void(util::Status)> fn) {
+  // Fetch in <=16 KB chunks.
+  const std::int64_t blocks_per_rpc = kMaxTransferUnit / costs_.block_size;
+  const std::int64_t chunk_last = std::min(last, first + blocks_per_rpc - 1);
+
+  auto body = std::make_shared<ReadReq>();
+  body->id = id;
+  body->offset = first * costs_.block_size;
+  body->len = (chunk_last - first + 1) * costs_.block_size;
+  ++stats_.remote_reads;
+  rpc_.call(
+      id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead), body,
+      [this, id, first, chunk_last, last, fn = std::move(fn)](
+          util::Result<Reply> r) mutable {
+        if (!r.is_ok()) return fn(r.status());
+        if (!r->status.is_ok()) return fn(r->status);
+        auto rep = rpc::body_cast<ReadRep>(r->body);
+        SPRITE_CHECK(rep != nullptr);
+        FileState& st = state_for(id);
+        // Slice the returned range into cache blocks.
+        std::size_t pos = 0;
+        for (std::int64_t blk = first;
+             blk <= chunk_last && pos < rep->data.size(); ++blk) {
+          const std::size_t n =
+              std::min(static_cast<std::size_t>(costs_.block_size),
+                       rep->data.size() - pos);
+          CacheBlock cblk;
+          cblk.data.assign(
+              rep->data.begin() + static_cast<std::ptrdiff_t>(pos),
+              rep->data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+          st.blocks[blk] = std::move(cblk);
+          touch_lru(id, blk);
+          pos += n;
+        }
+        enforce_capacity();
+        if (chunk_last < last) {
+          fetch_blocks(id, chunk_last + 1, last, std::move(fn));
+        } else {
+          fn(Status::ok());
+        }
+      });
+}
+
+void FsClient::write(const StreamPtr& s, Bytes data, WriteCb cb) {
+  if (s->type == FileType::kPseudoDevice)
+    return cb(Status(Err::kNotSupported, "use pdev_call"));
+  if (!s->flags.write) return cb(Status(Err::kBadF, "not open for writing"));
+  if (s->type == FileType::kPipe)
+    return pipe_write(s, std::move(data), std::move(cb));
+
+  if (s->server_offset) {
+    auto body = std::make_shared<GroupIoReq>();
+    body->id = s->file;
+    body->group = s->group;
+    body->data = std::move(data);
+    rpc_.call(s->file.server, ServiceId::kFsIo,
+              static_cast<int>(IoOp::kGroupWrite), body,
+              [cb = std::move(cb)](util::Result<Reply> r) {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                auto rep = rpc::body_cast<GroupIoRep>(r->body);
+                SPRITE_CHECK(rep != nullptr);
+                cb(rep->written);
+              });
+    return;
+  }
+
+  const std::int64_t offset = s->offset;
+  const auto n = static_cast<std::int64_t>(data.size());
+  auto done = [s, n, cb = std::move(cb)](util::Result<std::int64_t> r) {
+    if (r.is_ok()) {
+      s->offset += *r;
+      s->size_hint = std::max(s->size_hint, s->offset);
+    }
+    (void)n;
+    cb(std::move(r));
+  };
+
+  const auto it = files_.find(s->file);
+  const bool use_cache = s->cacheable && !s->flags.no_cache &&
+                         it != files_.end() && it->second.cacheable;
+  if (use_cache) {
+    cached_write(s, offset, std::move(data), std::move(done));
+  } else {
+    remote_write(s->file, offset, std::move(data), std::move(done));
+  }
+}
+
+void FsClient::cached_write(const StreamPtr& s, std::int64_t offset,
+                            Bytes data, WriteCb cb) {
+  FileState& st = state_for(s->file);
+  const auto len = static_cast<std::int64_t>(data.size());
+  if (len == 0) return cb(std::int64_t{0});
+
+  const std::int64_t first = offset / costs_.block_size;
+  const std::int64_t last = (offset + len - 1) / costs_.block_size;
+
+  // Partially-covered blocks that already exist at the server need a
+  // read-modify-write: fetch them before applying the write.
+  std::vector<std::pair<std::int64_t, std::int64_t>> fetches;
+  auto needs_fetch = [&](std::int64_t blk, bool partial) {
+    return partial && !st.blocks.count(blk) &&
+           blk * costs_.block_size < st.size;
+  };
+  if (needs_fetch(first, offset % costs_.block_size != 0))
+    fetches.emplace_back(first, first);
+  if (last != first && needs_fetch(last, (offset + len) % costs_.block_size != 0))
+    fetches.emplace_back(last, last);
+
+  auto apply = [this, s, offset, data = std::move(data), cb = std::move(cb)]() {
+    FileState& st = state_for(s->file);
+    const auto len = static_cast<std::int64_t>(data.size());
+    std::int64_t pos = offset;
+    std::size_t src = 0;
+    while (src < data.size()) {
+      const std::int64_t blk = pos / costs_.block_size;
+      const std::int64_t boff = pos % costs_.block_size;
+      const std::int64_t n = std::min<std::int64_t>(
+          costs_.block_size - boff,
+          static_cast<std::int64_t>(data.size() - src));
+      CacheBlock& cblk = st.blocks[blk];
+      if (static_cast<std::int64_t>(cblk.data.size()) < boff + n)
+        cblk.data.resize(static_cast<std::size_t>(boff + n), 0);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(src),
+                data.begin() + static_cast<std::ptrdiff_t>(src + n),
+                cblk.data.begin() + static_cast<std::ptrdiff_t>(boff));
+      cblk.dirty = true;
+      touch_lru(s->file, blk);
+      pos += n;
+      src += static_cast<std::size_t>(n);
+    }
+    st.size = std::max(st.size, offset + len);
+    enforce_capacity();
+    schedule_writeback(s->file);
+    cb(len);
+  };
+
+  if (fetches.empty()) {
+    sim_.after(Time::zero(), std::move(apply));
+    return;
+  }
+  auto fetch_next = std::make_shared<std::function<void(std::size_t)>>();
+  *fetch_next = [this, s, fetches, apply = std::move(apply),
+                 wself = std::weak_ptr<std::function<void(std::size_t)>>(
+                     fetch_next)](std::size_t i) mutable {
+    auto fetch_next = wself.lock();  // weak self: see cached_read
+    SPRITE_CHECK(fetch_next != nullptr);
+    if (i >= fetches.size()) {
+      apply();
+      return;
+    }
+    fetch_blocks(s->file, fetches[i].first, fetches[i].second,
+                 [fetch_next, i](Status) { (*fetch_next)(i + 1); });
+  };
+  (*fetch_next)(0);
+}
+
+void FsClient::remote_read(FileId id, std::int64_t offset, std::int64_t len,
+                           ReadCb cb) {
+  struct State {
+    Bytes out;
+    std::int64_t pos;
+    std::int64_t remaining;
+  };
+  auto st = std::make_shared<State>(State{{}, offset, len});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, id, st,
+           wself = std::weak_ptr<std::function<void()>>(step),
+           cb = std::move(cb)]() mutable {
+    auto step = wself.lock();  // weak self: see cached_read
+    SPRITE_CHECK(step != nullptr);
+    if (st->remaining <= 0) return cb(std::move(st->out));
+    const std::int64_t n = std::min(st->remaining, kMaxTransferUnit);
+    auto body = std::make_shared<ReadReq>();
+    body->id = id;
+    body->offset = st->pos;
+    body->len = n;
+    ++stats_.remote_reads;
+    rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead),
+              body, [st, step, n, cb](util::Result<Reply> r) mutable {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                auto rep = rpc::body_cast<ReadRep>(r->body);
+                SPRITE_CHECK(rep != nullptr);
+                st->out.insert(st->out.end(), rep->data.begin(),
+                               rep->data.end());
+                st->pos += static_cast<std::int64_t>(rep->data.size());
+                st->remaining -= n;
+                if (static_cast<std::int64_t>(rep->data.size()) < n)
+                  st->remaining = 0;  // EOF
+                (*step)();
+              });
+  };
+  (*step)();
+}
+
+void FsClient::remote_write(FileId id, std::int64_t offset, Bytes data,
+                            WriteCb cb) {
+  struct State {
+    Bytes data;
+    std::int64_t pos;
+    std::size_t written = 0;
+  };
+  auto st = std::make_shared<State>(State{std::move(data), offset, 0});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, id, st,
+           wself = std::weak_ptr<std::function<void()>>(step),
+           cb = std::move(cb)]() mutable {
+    auto step = wself.lock();  // weak self: see cached_read
+    SPRITE_CHECK(step != nullptr);
+    if (st->written >= st->data.size()) {
+      auto fit = files_.find(id);
+      if (fit != files_.end())
+        fit->second.size = std::max(fit->second.size, st->pos);
+      return cb(static_cast<std::int64_t>(st->written));
+    }
+    const std::size_t n =
+        std::min(st->data.size() - st->written,
+                 static_cast<std::size_t>(kMaxTransferUnit));
+    auto body = std::make_shared<WriteReq>();
+    body->id = id;
+    body->offset = st->pos;
+    body->data.assign(
+        st->data.begin() + static_cast<std::ptrdiff_t>(st->written),
+        st->data.begin() + static_cast<std::ptrdiff_t>(st->written + n));
+    ++stats_.remote_writes;
+    rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
+              body, [st, step, n, cb](util::Result<Reply> r) mutable {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                st->written += n;
+                st->pos += static_cast<std::int64_t>(n);
+                (*step)();
+              });
+  };
+  (*step)();
+}
+
+// ---------------------------------------------------------------------------
+// Delayed writes / flushing
+// ---------------------------------------------------------------------------
+
+void FsClient::schedule_writeback(FileId id) {
+  FileState& st = state_for(id);
+  if (st.writeback_scheduled) return;
+  st.writeback_scheduled = true;
+  sim_.after(costs_.fs_writeback_delay, [this, id] {
+    auto it = files_.find(id);
+    if (it == files_.end()) return;
+    it->second.writeback_scheduled = false;
+    flush_file(id, [](Status) {});
+  });
+}
+
+void FsClient::flush_file(FileId id, StatusCb cb) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    sim_.after(Time::zero(), [cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+  FileState& st = it->second;
+
+  // Coalesce dirty blocks into contiguous runs.
+  struct Run {
+    std::int64_t first_blk;
+    Bytes data;
+  };
+  auto runs = std::make_shared<std::vector<Run>>();
+  for (auto& [blk, cblk] : st.blocks) {
+    if (!cblk.dirty) continue;
+    cblk.dirty = false;  // the write below carries the data
+    stats_.writeback_bytes += static_cast<std::int64_t>(cblk.data.size());
+    const bool contiguous =
+        !runs->empty() &&
+        runs->back().first_blk +
+                static_cast<std::int64_t>((runs->back().data.size() +
+                                           costs_.block_size - 1) /
+                                          costs_.block_size) ==
+            blk &&
+        static_cast<std::int64_t>(runs->back().data.size()) +
+                static_cast<std::int64_t>(cblk.data.size()) <=
+            kMaxTransferUnit &&
+        runs->back().data.size() %
+                static_cast<std::size_t>(costs_.block_size) ==
+            0;
+    if (contiguous) {
+      runs->back().data.insert(runs->back().data.end(), cblk.data.begin(),
+                               cblk.data.end());
+    } else {
+      runs->push_back(Run{blk, cblk.data});
+    }
+  }
+  if (runs->empty()) {
+    sim_.after(Time::zero(), [cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, id, runs,
+           wself = std::weak_ptr<std::function<void(std::size_t)>>(step),
+           cb = std::move(cb)](std::size_t i) mutable {
+    auto step = wself.lock();  // weak self: see cached_read
+    SPRITE_CHECK(step != nullptr);
+    if (i >= runs->size()) return cb(Status::ok());
+    auto body = std::make_shared<WriteReq>();
+    body->id = id;
+    body->offset = (*runs)[i].first_blk * costs_.block_size;
+    body->data = (*runs)[i].data;
+    ++stats_.remote_writes;
+    rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
+              body, [step, i, cb](util::Result<Reply> r) mutable {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                (*step)(i + 1);
+              });
+  };
+  (*step)(0);
+}
+
+void FsClient::fsync(const StreamPtr& s, StatusCb cb) {
+  flush_file(s->file, std::move(cb));
+}
+
+void FsClient::ftruncate(const StreamPtr& s, std::int64_t size, StatusCb cb) {
+  if (s->type != FileType::kRegular)
+    return cb(Status(Err::kInval, "ftruncate on non-regular stream"));
+  if (!s->flags.write)
+    return cb(Status(Err::kBadF, "not open for writing"));
+  auto body = std::make_shared<TruncateReq>();
+  body->id = s->file;
+  body->size = size;
+  rpc_.call(s->file.server, ServiceId::kFsIo,
+            static_cast<int>(IoOp::kTruncate), body,
+            [this, s, size, cb = std::move(cb)](util::Result<Reply> r) {
+              if (!r.is_ok()) return cb(r.status());
+              if (!r->status.is_ok()) return cb(r->status);
+              auto it = files_.find(s->file);
+              if (it != files_.end()) {
+                it->second.size = std::min(it->second.size, size);
+                // Drop cached blocks past the new end (and the partial one
+                // straddling it — simplest correct choice).
+                const std::int64_t keep = size / costs_.block_size;
+                for (auto bit = it->second.blocks.begin();
+                     bit != it->second.blocks.end();) {
+                  if (bit->first >= keep) {
+                    auto lit = lru_index_.find({s->file, bit->first});
+                    if (lit != lru_index_.end()) {
+                      lru_.erase(lit->second);
+                      lru_index_.erase(lit);
+                    }
+                    bit = it->second.blocks.erase(bit);
+                  } else {
+                    ++bit;
+                  }
+                }
+              }
+              s->size_hint = std::min(s->size_hint, size);
+              cb(Status::ok());
+            });
+}
+
+std::int64_t FsClient::dirty_bytes(FileId id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [blk, cblk] : it->second.blocks)
+    if (cblk.dirty) total += static_cast<std::int64_t>(cblk.data.size());
+  return total;
+}
+
+std::int64_t FsClient::total_dirty_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [id, st] : files_)
+    for (const auto& [blk, cblk] : st.blocks)
+      if (cblk.dirty) total += static_cast<std::int64_t>(cblk.data.size());
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency callbacks (server -> client)
+// ---------------------------------------------------------------------------
+
+void FsClient::handle_callback(const Request& req,
+                               std::function<void(Reply)> respond) {
+  auto body = rpc::body_cast<CallbackReq>(req.body);
+  SPRITE_CHECK(body != nullptr);
+  switch (static_cast<CallbackOp>(req.op)) {
+    case CallbackOp::kRecallDirty: {
+      ++stats_.recalls_served;
+      flush_file(body->id, [respond = std::move(respond)](Status s) {
+        respond(Reply{s, nullptr});
+      });
+      return;
+    }
+    case CallbackOp::kPipeReady: {
+      auto it = pipe_parked_.find(body->id);
+      if (it != pipe_parked_.end()) {
+        auto retries = std::move(it->second);
+        pipe_parked_.erase(it);
+        for (auto& retry : retries) retry();
+      }
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+    case CallbackOp::kDisableCache: {
+      ++stats_.cache_disables;
+      const FileId id = body->id;
+      flush_file(id, [this, id, respond = std::move(respond)](Status s) {
+        auto it = files_.find(id);
+        if (it != files_.end()) {
+          it->second.cacheable = false;
+          for (auto bit = it->second.blocks.begin();
+               bit != it->second.blocks.end();) {
+            auto lit = lru_index_.find({id, bit->first});
+            if (lit != lru_index_.end()) {
+              lru_.erase(lit->second);
+              lru_index_.erase(lit);
+            }
+            bit = it->second.blocks.erase(bit);
+          }
+        }
+        respond(Reply{s, nullptr});
+      });
+      return;
+    }
+  }
+  respond(Reply{Status(Err::kNotSupported, "bad callback op"), nullptr});
+}
+
+// ---------------------------------------------------------------------------
+// Pipes
+// ---------------------------------------------------------------------------
+
+void FsClient::create_pipe(PipeCb cb) {
+  auto server = route("/");
+  if (!server.is_ok()) return cb(server.status());
+  rpc_.call(*server, ServiceId::kFsName,
+            static_cast<int>(NameOp::kCreatePipe), nullptr,
+            [this, cb = std::move(cb)](util::Result<Reply> r) {
+              if (!r.is_ok()) return cb(r.status());
+              if (!r->status.is_ok()) return cb(r->status);
+              auto rep = rpc::body_cast<CreatePipeRep>(r->body);
+              SPRITE_CHECK(rep != nullptr);
+              auto make_end = [this, rep](bool read_end) {
+                auto s = std::make_shared<Stream>();
+                s->group = new_group_id();
+                s->file = rep->id;
+                s->type = FileType::kPipe;
+                s->flags = read_end ? OpenFlags::read_only()
+                                    : OpenFlags::write_only();
+                s->cacheable = false;
+                return s;
+              };
+              cb(std::make_pair(make_end(true), make_end(false)));
+            });
+}
+
+void FsClient::pipe_read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
+  auto body = std::make_shared<PipeIoReq>();
+  body->id = s->file;
+  body->len = len;
+  rpc_.call(
+      s->file.server, ServiceId::kFsIo, static_cast<int>(IoOp::kPipeRead),
+      body, [this, s, len, cb = std::move(cb)](util::Result<Reply> r) mutable {
+        if (!r.is_ok()) return cb(r.status());
+        if (r->status.err() == Err::kWouldBlock) {
+          // Park until the server's kPipeReady wakeup, then retry.
+          pipe_parked_[s->file].push_back(
+              [this, s, len, cb = std::move(cb)]() mutable {
+                pipe_read(s, len, std::move(cb));
+              });
+          return;
+        }
+        if (!r->status.is_ok()) return cb(r->status);
+        auto rep = rpc::body_cast<PipeIoRep>(r->body);
+        SPRITE_CHECK(rep != nullptr);
+        cb(std::move(rep->data));  // empty + eof => end of file
+      });
+}
+
+void FsClient::pipe_write(const StreamPtr& s, Bytes data, WriteCb cb) {
+  auto body = std::make_shared<PipeIoReq>();
+  body->id = s->file;
+  body->data = std::move(data);
+  rpc_.call(
+      s->file.server, ServiceId::kFsIo, static_cast<int>(IoOp::kPipeWrite),
+      body, [this, s, body, cb = std::move(cb)](util::Result<Reply> r) mutable {
+        if (!r.is_ok()) return cb(r.status());
+        if (r->status.err() == Err::kWouldBlock) {
+          pipe_parked_[s->file].push_back(
+              [this, s, body, cb = std::move(cb)]() mutable {
+                pipe_write(s, body->data, std::move(cb));
+              });
+          return;
+        }
+        if (!r->status.is_ok()) return cb(r->status);
+        auto rep = rpc::body_cast<PipeIoRep>(r->body);
+        SPRITE_CHECK(rep != nullptr);
+        cb(rep->written);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo-devices
+// ---------------------------------------------------------------------------
+
+void FsClient::pdev_call(const StreamPtr& s, Bytes request, PdevCb cb) {
+  if (s->type != FileType::kPseudoDevice)
+    return cb(Status(Err::kInval, "not a pseudo-device"));
+  auto body = std::make_shared<PdevReq>();
+  body->tag = s->pdev_tag;
+  body->data = std::move(request);
+  rpc_.call(s->pdev_host, ServiceId::kPdev, 0, body,
+            [cb = std::move(cb)](util::Result<Reply> r) {
+              if (!r.is_ok()) return cb(r.status());
+              if (!r->status.is_ok()) return cb(r->status);
+              auto rep = rpc::body_cast<PdevRep>(r->body);
+              SPRITE_CHECK(rep != nullptr);
+              cb(rep->data);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Migration support
+// ---------------------------------------------------------------------------
+
+void FsClient::export_stream(const StreamPtr& s, HostId dst,
+                             bool shared_on_source, ExportCb cb) {
+  auto finish = [this, s, dst, shared_on_source, cb = std::move(cb)]() {
+    if (s->type == FileType::kPseudoDevice) {
+      // Pseudo-device streams carry no cache or server open state; package
+      // them directly.
+      ExportedStream e;
+      e.group = s->group;
+      e.file = s->file;
+      e.type = s->type;
+      e.flags = s->flags;
+      e.pdev_host = s->pdev_host;
+      e.pdev_tag = s->pdev_tag;
+      e.cacheable = false;
+      sim_.after(Time::zero(), [cb = std::move(cb), e] { cb(e); });
+      return;
+    }
+    auto body = std::make_shared<MigrateStreamReq>();
+    body->id = s->file;
+    body->flags = s->flags;
+    body->from = rpc_.host();
+    body->to = dst;
+    body->retain_source = shared_on_source;
+    rpc_.call(s->file.server, ServiceId::kFsIo,
+              static_cast<int>(IoOp::kMigrateStream), body,
+              [this, s, cb = std::move(cb)](util::Result<Reply> r) {
+                if (!r.is_ok()) return cb(r.status());
+                if (!r->status.is_ok()) return cb(r->status);
+                auto rep = rpc::body_cast<MigrateStreamRep>(r->body);
+                SPRITE_CHECK(rep != nullptr);
+
+                ExportedStream e;
+                e.group = s->group;
+                e.file = s->file;
+                e.type = s->type;
+                e.flags = s->flags;
+                e.offset = s->offset;
+                e.server_offset = s->server_offset;
+                e.cacheable = rep->cacheable;
+                e.version = rep->version;
+                e.size = rep->size;
+
+                // The stream leaves this host.
+                auto it = files_.find(s->file);
+                if (it != files_.end() && it->second.open_streams > 0)
+                  --it->second.open_streams;
+                cb(e);
+              });
+  };
+
+  if (s->type == FileType::kPseudoDevice || s->type == FileType::kPipe) {
+    // No cache to flush and no byte offsets: re-attribute at the server
+    // directly (pdevs skip even that; see finish()).
+    finish();
+    return;
+  }
+
+  // Dirty data must reach the server before the destination can read it.
+  flush_file(s->file, [this, s, shared_on_source,
+                       finish = std::move(finish)](Status) mutable {
+    if (shared_on_source && !s->server_offset) {
+      // The access position is about to be shared across hosts: promote it
+      // to the I/O server (shadow stream).
+      auto body = std::make_shared<ShareOffsetReq>();
+      body->id = s->file;
+      body->group = s->group;
+      body->offset = s->offset;
+      rpc_.call(s->file.server, ServiceId::kFsIo,
+                static_cast<int>(IoOp::kShareOffset), body,
+                [s, finish = std::move(finish)](util::Result<Reply> r) {
+                  if (r.is_ok() && r->status.is_ok()) s->server_offset = true;
+                  finish();
+                });
+      return;
+    }
+    finish();
+  });
+}
+
+StreamPtr FsClient::import_stream(const ExportedStream& e) {
+  auto s = std::make_shared<Stream>();
+  s->group = e.group;
+  s->file = e.file;
+  s->type = e.type;
+  s->flags = e.flags;
+  s->offset = e.offset;
+  s->server_offset = e.server_offset;
+  s->cacheable = e.cacheable;
+  s->size_hint = e.size;
+  s->pdev_host = e.pdev_host;
+  s->pdev_tag = e.pdev_tag;
+  if (e.type == FileType::kRegular) {
+    FileState& st = state_for(e.file);
+    if (st.version != e.version) {
+      st.blocks.clear();
+      st.version = e.version;
+    }
+    st.cacheable = e.cacheable;
+    st.size = std::max(st.size, e.size);
+    ++st.open_streams;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Cache capacity
+// ---------------------------------------------------------------------------
+
+void FsClient::touch_lru(FileId id, std::int64_t blk) {
+  const auto key = std::make_pair(id, blk);
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  lru_index_[key] = lru_.begin();
+}
+
+void FsClient::enforce_capacity() {
+  while (static_cast<std::int64_t>(lru_.size()) >
+         costs_.fs_client_cache_blocks) {
+    const auto [id, blk] = lru_.back();
+    lru_.pop_back();
+    lru_index_.erase({id, blk});
+    auto fit = files_.find(id);
+    if (fit == files_.end()) continue;
+    auto bit = fit->second.blocks.find(blk);
+    if (bit == fit->second.blocks.end()) continue;
+    if (bit->second.dirty) {
+      // Write the block back before discarding it.
+      auto body = std::make_shared<WriteReq>();
+      body->id = id;
+      body->offset = blk * costs_.block_size;
+      body->data = std::move(bit->second.data);
+      ++stats_.remote_writes;
+      rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
+                body, [](util::Result<Reply>) {});
+    }
+    fit->second.blocks.erase(bit);
+  }
+}
+
+}  // namespace sprite::fs

@@ -1,0 +1,224 @@
+// Sprite file system client: prefix-table routing, block caching with
+// 30-second delayed writes, consistency callbacks, and the stream state that
+// process migration moves between hosts.
+//
+// All operations are asynchronous continuation-passing, because each may take
+// simulated time (RPCs, disk, CPU). The process layer wraps these in blocking
+// kernel calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/types.h"
+#include "fs/wire.h"
+#include "rpc/rpc.h"
+#include "sim/costs.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace sprite::fs {
+
+// An open stream (Sprite's descriptor-level object). Shared within a host:
+// fork makes parent and child share the same Stream, hence the same access
+// position. When migration splits a stream group across hosts, the offset
+// moves to the I/O server ("shadow stream") and `server_offset` becomes true.
+struct Stream {
+  std::int64_t group = 0;  // globally unique stream-group id
+  FileId file;
+  FileType type = FileType::kRegular;
+  OpenFlags flags;
+  std::int64_t offset = 0;     // local access position (!server_offset)
+  bool server_offset = false;  // offset lives at the I/O server
+  bool cacheable = true;
+  std::int64_t size_hint = 0;  // size at open; updated by local writes
+  // Pseudo-device plumbing.
+  sim::HostId pdev_host = sim::kInvalidHost;
+  int pdev_tag = 0;
+  // Number of descriptor-table references on this host (fork shares the
+  // stream object; the server's open reference is released only when the
+  // last local reference closes).
+  int local_refs = 1;
+};
+
+using StreamPtr = std::shared_ptr<Stream>;
+
+// Everything needed to reconstruct a stream on another host at migration.
+struct ExportedStream {
+  std::int64_t group = 0;
+  FileId file;
+  FileType type = FileType::kRegular;
+  OpenFlags flags;
+  std::int64_t offset = 0;
+  bool server_offset = false;
+  bool cacheable = true;
+  std::int64_t version = 0;
+  std::int64_t size = 0;
+  sim::HostId pdev_host = sim::kInvalidHost;
+  int pdev_tag = 0;
+};
+
+class FsClient {
+ public:
+  using OpenCb = std::function<void(util::Result<StreamPtr>)>;
+  using ReadCb = std::function<void(util::Result<Bytes>)>;
+  using WriteCb = std::function<void(util::Result<std::int64_t>)>;
+  using StatusCb = std::function<void(util::Status)>;
+  using StatCb = std::function<void(util::Result<StatResult>)>;
+  using ExportCb = std::function<void(util::Result<ExportedStream>)>;
+  using PdevCb = std::function<void(util::Result<Bytes>)>;
+
+  FsClient(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
+           const sim::Costs& costs);
+
+  // Registers the kFsCallback consistency-callback handler.
+  void register_services();
+
+  // ---- Prefix table ----
+  void add_prefix(const std::string& prefix, sim::HostId server);
+  util::Result<sim::HostId> route(const std::string& path) const;
+
+  // ---- Client name caching (the thesis's future-work optimization) ----
+  // When enabled, successful opens remember path -> inode and later opens
+  // send the inode as a hint, letting the server skip the per-component
+  // lookup. Stale hints fall back to a full lookup transparently.
+  void enable_name_cache(bool on) { name_cache_enabled_ = on; }
+  bool name_cache_enabled() const { return name_cache_enabled_; }
+  std::size_t name_cache_size() const { return name_cache_.size(); }
+
+  // ---- Name operations ----
+  void open(const std::string& path, OpenFlags flags, OpenCb cb);
+  void close(const StreamPtr& s, StatusCb cb);
+  void unlink(const std::string& path, StatusCb cb);
+  void mkdir(const std::string& path, StatusCb cb);
+  void stat(const std::string& path, StatCb cb);
+
+  // ---- I/O ----
+  // Reads up to `len` bytes at the stream's access position (short at EOF).
+  void read(const StreamPtr& s, std::int64_t len, ReadCb cb);
+  // Writes all of `data` at the stream's access position.
+  void write(const StreamPtr& s, Bytes data, WriteCb cb);
+  // Repositions a local access position (kInval for server-managed offsets).
+  util::Status seek(const StreamPtr& s, std::int64_t offset);
+  // Flushes this file's dirty blocks to the server.
+  void fsync(const StreamPtr& s, StatusCb cb);
+  // Truncates the file to `size` bytes (drops affected cached blocks).
+  void ftruncate(const StreamPtr& s, std::int64_t size, StatusCb cb);
+
+  // Request/response transaction on a pseudo-device stream (how user-level
+  // services such as migd are reached).
+  void pdev_call(const StreamPtr& s, Bytes request, PdevCb cb);
+
+  // ---- Pipes ----
+  // Creates an anonymous pipe; returns {read end, write end}. The buffer
+  // lives at the file server, so either end can migrate freely.
+  using PipeCb =
+      std::function<void(util::Result<std::pair<StreamPtr, StreamPtr>>)>;
+  void create_pipe(PipeCb cb);
+
+  // ---- Migration support ----
+  // Moves one stream's open attribution to `dst` and packages its state.
+  // `shared_on_source` must be true when another process remaining on this
+  // host shares the stream's access position: the offset is then promoted to
+  // the I/O server before the move. Dirty cached data for the file is always
+  // flushed first, so the destination and server see current bytes.
+  void export_stream(const StreamPtr& s, sim::HostId dst,
+                     bool shared_on_source, ExportCb cb);
+  // Reconstructs a stream exported from another host.
+  StreamPtr import_stream(const ExportedStream& e);
+
+  // Flush all dirty blocks for one file / for every file (host shutdown,
+  // eviction sweeps).
+  void flush_file(FileId id, StatusCb cb);
+  std::int64_t dirty_bytes(FileId id) const;
+  std::int64_t total_dirty_bytes() const;
+
+  // ---- Statistics ----
+  struct Stats {
+    std::int64_t cache_hit_blocks = 0;
+    std::int64_t cache_miss_blocks = 0;
+    std::int64_t remote_reads = 0;   // read RPCs issued
+    std::int64_t remote_writes = 0;  // write RPCs issued
+    std::int64_t name_cache_hits = 0;
+    std::int64_t name_cache_stale = 0;
+    std::int64_t writeback_bytes = 0;
+    std::int64_t recalls_served = 0;
+    std::int64_t cache_disables = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct CacheBlock {
+    Bytes data;  // up to block_size bytes
+    bool dirty = false;
+  };
+
+  struct FileState {
+    std::int64_t version = 0;
+    bool cacheable = true;
+    std::int64_t size = 0;
+    int open_streams = 0;
+    std::map<std::int64_t, CacheBlock> blocks;
+    bool writeback_scheduled = false;
+  };
+
+  // Builds the Stream and client state from a successful open reply.
+  void finish_open(const std::string& path, OpenFlags flags,
+                   const rpc::MessagePtr& reply_body, OpenCb cb);
+  // Reads [offset, offset+len) through the cache; assumes cacheable.
+  void cached_read(const StreamPtr& s, std::int64_t offset, std::int64_t len,
+                   ReadCb cb);
+  // Fetches the aligned block range [first, last] into the cache, then `fn`.
+  void fetch_blocks(FileId id, std::int64_t first, std::int64_t last,
+                    std::function<void(util::Status)> fn);
+  void cached_write(const StreamPtr& s, std::int64_t offset, Bytes data,
+                    WriteCb cb);
+  // Uncached byte-range I/O in <=16 KB runs (Sprite's RPC transfer limit).
+  void remote_read(FileId id, std::int64_t offset, std::int64_t len,
+                   ReadCb cb);
+  void remote_write(FileId id, std::int64_t offset, Bytes data, WriteCb cb);
+
+  void schedule_writeback(FileId id);
+  // Blocking pipe semantics: kWouldBlock replies park a retry closure that
+  // the server's kPipeReady callback re-runs.
+  void pipe_read(const StreamPtr& s, std::int64_t len, ReadCb cb);
+  void pipe_write(const StreamPtr& s, Bytes data, WriteCb cb);
+  void handle_callback(const rpc::Request& req,
+                       std::function<void(rpc::Reply)> respond);
+  FileState& state_for(FileId id);
+  std::int64_t new_group_id();
+  void touch_lru(FileId id, std::int64_t blk);
+  void enforce_capacity();
+
+  sim::Simulator& sim_;
+  sim::Cpu& cpu_;
+  rpc::RpcNode& rpc_;
+  const sim::Costs& costs_;
+
+  std::vector<std::pair<std::string, sim::HostId>> prefixes_;
+  std::map<FileId, FileState> files_;
+  bool name_cache_enabled_ = false;
+  std::map<std::string, Ino> name_cache_;
+  std::map<FileId, std::vector<std::function<void()>>> pipe_parked_;
+  std::int64_t next_group_ = 1;
+
+  // LRU over (file, block) for cache capacity enforcement.
+  std::list<std::pair<FileId, std::int64_t>> lru_;
+  std::map<std::pair<FileId, std::int64_t>,
+           std::list<std::pair<FileId, std::int64_t>>::iterator>
+      lru_index_;
+
+  Stats stats_;
+};
+
+// Maximum bytes moved per FS data RPC (Sprite's fragmented RPC limit).
+inline constexpr std::int64_t kMaxTransferUnit = 16 * 1024;
+
+}  // namespace sprite::fs

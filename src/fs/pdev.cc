@@ -1,0 +1,62 @@
+#include "fs/pdev.h"
+
+#include "util/assert.h"
+
+namespace sprite::fs {
+
+using rpc::Reply;
+using rpc::Request;
+using util::Err;
+using util::Status;
+
+PdevRegistry::PdevRegistry(sim::Simulator& sim, sim::Cpu& cpu,
+                           rpc::RpcNode& rpc, const sim::Costs& costs)
+    : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {}
+
+void PdevRegistry::register_services() {
+  rpc_.register_service(
+      rpc::ServiceId::kPdev,
+      [this](sim::HostId, const Request& req,
+             std::function<void(Reply)> respond) {
+        handle(req, std::move(respond));
+      });
+}
+
+int PdevRegistry::register_server(Handler handler) {
+  const int tag = next_tag_++;
+  servers_[tag] = std::move(handler);
+  return tag;
+}
+
+void PdevRegistry::unregister_server(int tag) { servers_.erase(tag); }
+
+void PdevRegistry::handle(const Request& req,
+                          std::function<void(Reply)> respond) {
+  auto body = rpc::body_cast<PdevReq>(req.body);
+  SPRITE_CHECK(body != nullptr);
+  auto it = servers_.find(body->tag);
+  if (it == servers_.end()) {
+    respond(Reply{Status(Err::kNoEnt, "no pdev server"), nullptr});
+    return;
+  }
+  // Waking the user-level server costs scheduling latency, then its request
+  // handling consumes CPU on this host.
+  sim_.after(costs_.pdev_wakeup, [this, body, handler = it->second,
+                                  respond = std::move(respond)]() mutable {
+    cpu_.submit(sim::JobClass::kUser, costs_.migd_request_cpu,
+                [body, handler = std::move(handler),
+                 respond = std::move(respond)]() mutable {
+                  handler(body->data,
+                          [respond = std::move(respond)](
+                              util::Result<Bytes> r) {
+                            if (!r.is_ok())
+                              return respond(Reply{r.status(), nullptr});
+                            auto rep = std::make_shared<PdevRep>();
+                            rep->data = std::move(*r);
+                            respond(Reply{Status::ok(), rep});
+                          });
+                });
+  });
+}
+
+}  // namespace sprite::fs

@@ -1,0 +1,73 @@
+// Pseudo-devices: Sprite's mechanism for user-level services reached through
+// the file system [WO88].
+//
+// A server process registers a pseudo-device under a path; clients open it
+// like a file and perform request/response transactions. The kernel forwards
+// each transaction to the host running the server. Process migration is
+// transparent to pseudo-device communication because only the kernel knows
+// where the endpoints are — which is exactly how migd (the host-selection
+// daemon) keeps working for migrated clients.
+//
+// The user-level nature of the server is modelled as a wakeup latency plus
+// service CPU charged on the owner host before the handler runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "fs/types.h"
+#include "rpc/rpc.h"
+#include "sim/costs.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+
+namespace sprite::fs {
+
+struct PdevReq : rpc::Message {
+  int tag = 0;
+  Bytes data;
+  std::int64_t wire_bytes() const override {
+    return 16 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct PdevRep : rpc::Message {
+  Bytes data;
+  std::int64_t wire_bytes() const override {
+    return 8 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+// Registry of pseudo-device servers on one host.
+class PdevRegistry {
+ public:
+  // The handler plays the role of the user-level server's request loop.
+  // It must call `reply` exactly once (possibly asynchronously).
+  using Handler =
+      std::function<void(const Bytes& request,
+                         std::function<void(util::Result<Bytes>)> reply)>;
+
+  PdevRegistry(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
+               const sim::Costs& costs);
+
+  // Registers the kPdev RPC service.
+  void register_services();
+
+  // Claims a tag for a server on this host.
+  int register_server(Handler handler);
+  void unregister_server(int tag);
+
+ private:
+  void handle(const rpc::Request& req,
+              std::function<void(rpc::Reply)> respond);
+
+  sim::Simulator& sim_;
+  sim::Cpu& cpu_;
+  rpc::RpcNode& rpc_;
+  const sim::Costs& costs_;
+  std::map<int, Handler> servers_;
+  int next_tag_ = 1;
+};
+
+}  // namespace sprite::fs

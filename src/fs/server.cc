@@ -1,0 +1,854 @@
+#include "fs/server.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::fs {
+
+using rpc::Reply;
+using rpc::Request;
+using rpc::ServiceId;
+using sim::HostId;
+using sim::JobClass;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+namespace {
+
+Reply error_reply(Err e, std::string msg = "") {
+  return Reply{Status(e, std::move(msg)), nullptr};
+}
+
+}  // namespace
+
+FsServer::FsServer(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
+                   const sim::Costs& costs)
+    : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {
+  root_ = next_ino_++;
+  Inode root;
+  root.ino = root_;
+  root.type = FileType::kDirectory;
+  inodes_.emplace(root_, std::move(root));
+}
+
+void FsServer::register_services() {
+  rpc_.register_service(
+      ServiceId::kFsName,
+      [this](HostId src, const Request& req, std::function<void(Reply)> r) {
+        handle_name(src, req, std::move(r));
+      });
+  rpc_.register_service(
+      ServiceId::kFsIo,
+      [this](HostId src, const Request& req, std::function<void(Reply)> r) {
+        handle_io(src, req, std::move(r));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Namespace helpers
+// ---------------------------------------------------------------------------
+
+FsServer::Inode& FsServer::inode(Ino i) {
+  auto it = inodes_.find(i);
+  SPRITE_CHECK_MSG(it != inodes_.end(), "dangling inode reference");
+  return it->second;
+}
+
+const FsServer::Inode* FsServer::find_inode(Ino i) const {
+  auto it = inodes_.find(i);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+util::Result<Ino> FsServer::lookup(const std::string& path) const {
+  Ino cur = root_;
+  for (const auto& comp : split_path(path)) {
+    const Inode* node = find_inode(cur);
+    if (node == nullptr || node->type != FileType::kDirectory)
+      return {Err::kNoEnt, path};
+    auto it = node->children.find(comp);
+    if (it == node->children.end()) return {Err::kNoEnt, path};
+    cur = it->second;
+  }
+  return cur;
+}
+
+util::Result<Ino> FsServer::create_at(const std::string& path, FileType type) {
+  const auto comps = split_path(path);
+  if (comps.empty()) return {Err::kInval, "empty path"};
+  Ino cur = root_;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    Inode& node = inode(cur);
+    if (node.type != FileType::kDirectory) return {Err::kNoEnt, path};
+    auto it = node.children.find(comps[i]);
+    if (it == node.children.end()) return {Err::kNoEnt, path};
+    cur = it->second;
+  }
+  Inode& parent = inode(cur);
+  if (parent.type != FileType::kDirectory) return {Err::kNoEnt, path};
+  auto it = parent.children.find(comps.back());
+  if (it != parent.children.end()) return {Err::kExist, path};
+
+  const Ino ino = next_ino_++;
+  Inode node;
+  node.ino = ino;
+  node.type = type;
+  inodes_.emplace(ino, std::move(node));
+  parent.children.emplace(comps.back(), ino);
+  return ino;
+}
+
+void FsServer::maybe_reap(Ino i) {
+  auto it = inodes_.find(i);
+  if (it == inodes_.end()) return;
+  Inode& node = it->second;
+  if (!node.unlinked) return;
+  for (const auto& [h, use] : node.users)
+    if (use.any()) return;
+  inodes_.erase(it);
+}
+
+util::Status FsServer::mkdir_p(const std::string& path) {
+  const auto comps = split_path(path);
+  Ino cur = root_;
+  for (const auto& comp : comps) {
+    Inode& node = inode(cur);
+    if (node.type != FileType::kDirectory) return Status(Err::kNoEnt, path);
+    auto it = node.children.find(comp);
+    if (it != node.children.end()) {
+      cur = it->second;
+      continue;
+    }
+    const Ino ino = next_ino_++;
+    Inode child;
+    child.ino = ino;
+    child.type = FileType::kDirectory;
+    inodes_.emplace(ino, std::move(child));
+    node.children.emplace(comp, ino);
+    cur = ino;
+  }
+  return Status::ok();
+}
+
+util::Result<FileId> FsServer::create_file(const std::string& path,
+                                           std::int64_t logical_size) {
+  auto r = create_at(path, FileType::kRegular);
+  if (!r.is_ok()) return r.status();
+  inode(*r).size = logical_size;
+  return FileId{host(), *r};
+}
+
+util::Result<FileId> FsServer::create_pdev(const std::string& path,
+                                           sim::HostId owner_host, int tag) {
+  auto r = create_at(path, FileType::kPseudoDevice);
+  if (!r.is_ok()) return r.status();
+  Inode& node = inode(*r);
+  node.pdev_host = owner_host;
+  node.pdev_tag = tag;
+  return FileId{host(), *r};
+}
+
+FileId FsServer::create_pipe_inode(HostId creator) {
+  const Ino ino = next_ino_++;
+  Inode node;
+  node.ino = ino;
+  node.type = FileType::kPipe;
+  node.unlinked = true;  // anonymous: reaped when the last end closes
+  node.users[creator] = HostUse{1, 1};
+  inodes_.emplace(ino, std::move(node));
+  return FileId{host(), ino};
+}
+
+util::Result<StatResult> FsServer::stat_path(const std::string& path) const {
+  auto r = lookup(path);
+  if (!r.is_ok()) return r.status();
+  const Inode* node = find_inode(*r);
+  SPRITE_CHECK(node != nullptr);
+  return StatResult{FileId{host(), node->ino}, node->type, node->size,
+                    node->version};
+}
+
+util::Result<Bytes> FsServer::read_direct(FileId id, std::int64_t offset,
+                                          std::int64_t len) const {
+  const Inode* node = find_inode(id.ino);
+  if (node == nullptr) return {Err::kNoEnt, "stale file id"};
+  // const_cast is safe: pread only mutates nothing for const access pattern;
+  // implemented via a copy of the lookup logic to keep pread non-const for
+  // the caching path.
+  Bytes out;
+  const std::int64_t end = std::min(offset + len, node->size);
+  for (std::int64_t pos = offset; pos < end; ++pos) {
+    const std::int64_t blk = pos / costs_.block_size;
+    const std::int64_t off = pos % costs_.block_size;
+    auto it = node->blocks.find(blk);
+    out.push_back(it == node->blocks.end() || off >= static_cast<std::int64_t>(
+                                                         it->second.size())
+                      ? 0
+                      : it->second[static_cast<std::size_t>(off)]);
+  }
+  return out;
+}
+
+bool FsServer::is_cacheable(FileId id) const {
+  const Inode* node = find_inode(id.ino);
+  return node != nullptr && !node->write_shared;
+}
+
+std::int64_t FsServer::group_offset(FileId id, std::int64_t group) const {
+  const Inode* node = find_inode(id.ino);
+  if (node == nullptr) return -1;
+  auto it = node->group_offsets.find(group);
+  return it == node->group_offsets.end() ? -1 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Data helpers
+// ---------------------------------------------------------------------------
+
+Bytes FsServer::pread(Inode& node, std::int64_t offset, std::int64_t len) {
+  Bytes out;
+  if (offset >= node.size || len <= 0) return out;
+  const std::int64_t end = std::min(offset + len, node.size);
+  out.reserve(static_cast<std::size_t>(end - offset));
+  std::int64_t pos = offset;
+  while (pos < end) {
+    const std::int64_t blk = pos / costs_.block_size;
+    const std::int64_t boff = pos % costs_.block_size;
+    const std::int64_t n =
+        std::min(costs_.block_size - boff, end - pos);
+    auto it = node.blocks.find(blk);
+    if (it == node.blocks.end()) {
+      out.insert(out.end(), static_cast<std::size_t>(n), 0);
+    } else {
+      const Bytes& b = it->second;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(boff + i);
+        out.push_back(idx < b.size() ? b[idx] : 0);
+      }
+    }
+    pos += n;
+  }
+  return out;
+}
+
+std::int64_t FsServer::pwrite(Inode& node, std::int64_t offset,
+                              const Bytes& data) {
+  std::int64_t pos = offset;
+  std::size_t src = 0;
+  while (src < data.size()) {
+    const std::int64_t blk = pos / costs_.block_size;
+    const std::int64_t boff = pos % costs_.block_size;
+    const std::int64_t n = std::min<std::int64_t>(
+        costs_.block_size - boff,
+        static_cast<std::int64_t>(data.size() - src));
+    Bytes& b = node.blocks[blk];
+    if (static_cast<std::int64_t>(b.size()) < boff + n)
+      b.resize(static_cast<std::size_t>(boff + n), 0);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(src),
+              data.begin() + static_cast<std::ptrdiff_t>(src + n),
+              b.begin() + static_cast<std::ptrdiff_t>(boff));
+    pos += n;
+    src += static_cast<std::size_t>(n);
+  }
+  node.size = std::max(node.size, pos);
+  return static_cast<std::int64_t>(data.size());
+}
+
+// ---------------------------------------------------------------------------
+// Consistency helpers
+// ---------------------------------------------------------------------------
+
+void FsServer::update_sharing(Inode& node,
+                              std::vector<HostId>* to_disable) {
+  int writer_hosts = 0;
+  int user_hosts = 0;
+  for (const auto& [h, use] : node.users) {
+    if (!use.any()) continue;
+    ++user_hosts;
+    if (use.writers > 0) ++writer_hosts;
+  }
+  const bool shared =
+      writer_hosts >= 2 || (writer_hosts == 1 && user_hosts >= 2);
+  if (shared && !node.write_shared) {
+    node.write_shared = true;
+    ++stats_.cache_disables;
+    for (const auto& [h, use] : node.users)
+      if (use.any()) to_disable->push_back(h);
+  } else if (!shared && node.write_shared) {
+    // Sharing ended; new opens may cache again. Hosts already bypassing
+    // their caches continue to do so until they reopen (as in Sprite).
+    node.write_shared = false;
+  }
+}
+
+int FsServer::cache_misses(Ino ino, std::int64_t offset, std::int64_t len) {
+  if (len <= 0) return 0;
+  int misses = 0;
+  const std::int64_t first = offset / costs_.block_size;
+  const std::int64_t last = (offset + len - 1) / costs_.block_size;
+  for (std::int64_t blk = first; blk <= last; ++blk) {
+    const auto key = std::make_pair(ino, blk);
+    auto it = cached_.find(key);
+    if (it != cached_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      continue;
+    }
+    ++misses;
+    lru_.push_front(key);
+    cached_[key] = lru_.begin();
+    if (static_cast<std::int64_t>(cached_.size()) >
+        costs_.fs_server_cache_blocks) {
+      cached_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  stats_.disk_accesses += misses;
+  return misses;
+}
+
+void FsServer::charge(Time cpu, int disk_blocks, std::function<void()> fn) {
+  cpu_.submit(JobClass::kKernel, cpu,
+              [this, disk_blocks, fn = std::move(fn)] {
+                if (disk_blocks > 0) {
+                  sim_.after(costs_.fs_disk_access * disk_blocks,
+                             std::move(fn));
+                } else {
+                  fn();
+                }
+              });
+}
+
+// ---------------------------------------------------------------------------
+// kFsName dispatch
+// ---------------------------------------------------------------------------
+
+void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
+  switch (static_cast<NameOp>(req.op)) {
+    case NameOp::kOpen: {
+      auto body = rpc::body_cast<OpenReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      // A valid name-cache hint resolves by inode: no per-component lookup
+      // CPU. A stale hint falls back to the full path below (do_open).
+      const bool hint_ok =
+          body->hint != kInvalidIno && inodes_.count(body->hint) != 0 &&
+          !inodes_.at(body->hint).unlinked;
+      sim::Time cpu = costs_.fs_open_cpu;
+      if (!hint_ok) {
+        const int ncomp = path_components(body->path);
+        stats_.lookup_components += ncomp;
+        cpu += costs_.fs_lookup_cpu_per_component * ncomp;
+      } else {
+        ++stats_.hinted_opens;
+      }
+      charge(cpu, 0,
+             [this, src, body, hint_ok, respond = std::move(respond)]() mutable {
+               do_open(src, *body, hint_ok, std::move(respond));
+             });
+      return;
+    }
+    case NameOp::kClose: {
+      auto body = rpc::body_cast<CloseReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_open_cpu, 0,
+             [this, src, body, respond = std::move(respond)]() mutable {
+               do_close(src, *body, std::move(respond));
+             });
+      return;
+    }
+    case NameOp::kUnlink: {
+      auto body = rpc::body_cast<PathReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      const int ncomp = path_components(body->path);
+      stats_.lookup_components += ncomp;
+      charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               const auto comps = split_path(body->path);
+               auto parent_path = body->path;
+               auto r = lookup(body->path);
+               if (!r.is_ok()) return respond(error_reply(r.err(), body->path));
+               // Find the parent and remove the entry.
+               Ino cur = root_;
+               for (std::size_t i = 0; i + 1 < comps.size(); ++i)
+                 cur = inode(cur).children.at(comps[i]);
+               inode(cur).children.erase(comps.back());
+               Inode& victim = inode(*r);
+               victim.unlinked = true;
+               maybe_reap(*r);
+               respond(Reply{Status::ok(), nullptr});
+             });
+      return;
+    }
+    case NameOp::kMkdir: {
+      auto body = rpc::body_cast<PathReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      const int ncomp = path_components(body->path);
+      stats_.lookup_components += ncomp;
+      charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               auto r = create_at(body->path, FileType::kDirectory);
+               respond(r.is_ok() ? Reply{Status::ok(), nullptr}
+                                 : error_reply(r.err(), body->path));
+             });
+      return;
+    }
+    case NameOp::kStat: {
+      auto body = rpc::body_cast<PathReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      const int ncomp = path_components(body->path);
+      stats_.lookup_components += ncomp;
+      charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               auto r = stat_path(body->path);
+               if (!r.is_ok()) return respond(error_reply(r.err(), body->path));
+               auto rep = std::make_shared<StatRep>();
+               rep->st = *r;
+               respond(Reply{Status::ok(), rep});
+             });
+      return;
+    }
+    case NameOp::kCreatePipe: {
+      charge(costs_.fs_open_cpu, 0,
+             [this, src, respond = std::move(respond)]() mutable {
+               auto rep = std::make_shared<CreatePipeRep>();
+               rep->id = create_pipe_inode(src);
+               respond(Reply{Status::ok(), rep});
+             });
+      return;
+    }
+    case NameOp::kRegisterPdev: {
+      auto body = rpc::body_cast<RegisterPdevReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_open_cpu, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               auto r = create_pdev(body->path, body->owner_host, body->tag);
+               respond(r.is_ok() ? Reply{Status::ok(), nullptr}
+                                 : error_reply(r.err(), body->path));
+             });
+      return;
+    }
+  }
+  respond(error_reply(Err::kNotSupported, "bad name op"));
+}
+
+void FsServer::do_open(HostId src, const OpenReq& req, bool hint_ok,
+                       Respond respond) {
+  ++stats_.opens;
+  Ino ino = kInvalidIno;
+  if (hint_ok) {
+    ino = req.hint;
+  } else {
+    auto r = lookup(req.path);
+    if (!r.is_ok()) {
+      if (!req.flags.create)
+        return respond(error_reply(Err::kNoEnt, req.path));
+      r = create_at(req.path, FileType::kRegular);
+      if (!r.is_ok()) return respond(error_reply(r.err(), req.path));
+    }
+    ino = *r;
+  }
+  Inode& node = inode(ino);
+
+  if (node.type == FileType::kDirectory && req.flags.write)
+    return respond(error_reply(Err::kAccess, "directory write"));
+
+  if (node.type == FileType::kPseudoDevice) {
+    auto rep = std::make_shared<OpenRep>();
+    rep->result.id = FileId{host(), ino};
+    rep->result.type = node.type;
+    rep->result.pdev_host = node.pdev_host;
+    rep->result.pdev_tag = node.pdev_tag;
+    rep->result.cacheable = false;
+    return respond(Reply{Status::ok(), rep});
+  }
+
+  // Sequential write sharing: the last writing host may hold dirty blocks in
+  // its cache; recall them before this open completes [NWO88].
+  if (node.last_writer != sim::kInvalidHost && node.last_writer != src) {
+    ++stats_.recalls;
+    const HostId writer = node.last_writer;
+    node.last_writer = sim::kInvalidHost;
+    auto cb = std::make_shared<CallbackReq>();
+    cb->id = FileId{host(), ino};
+    rpc_.call(writer, ServiceId::kFsCallback,
+              static_cast<int>(CallbackOp::kRecallDirty), cb,
+              [this, src, req, ino, respond = std::move(respond)](
+                  util::Result<Reply>) mutable {
+                // Even on timeout (writer crashed) the open proceeds; the
+                // dirty data is simply lost, as in a real client crash.
+                finish_open(src, req, ino, std::move(respond));
+              });
+    return;
+  }
+  finish_open(src, req, ino, std::move(respond));
+}
+
+void FsServer::finish_open(HostId src, const OpenReq& req, Ino ino,
+                           Respond respond) {
+  Inode& node = inode(ino);
+  if (req.flags.truncate) {
+    node.blocks.clear();
+    node.size = 0;
+  }
+
+  HostUse& use = node.users[src];
+  if (req.flags.read) ++use.readers;
+  if (req.flags.write) ++use.writers;
+
+  std::vector<HostId> to_disable;
+  update_sharing(node, &to_disable);
+  for (HostId h : to_disable) {
+    if (h == src && !node.users[src].any()) continue;
+    auto cb = std::make_shared<CallbackReq>();
+    cb->id = FileId{host(), ino};
+    rpc_.call(h, ServiceId::kFsCallback,
+              static_cast<int>(CallbackOp::kDisableCache), cb,
+              [](util::Result<Reply>) {});
+  }
+
+  if (req.flags.write) {
+    ++node.version;
+    // A cacheable writer may accumulate dirty blocks; remember it so the
+    // next open from elsewhere recalls them.
+    node.last_writer = node.write_shared ? sim::kInvalidHost : src;
+  }
+
+  auto rep = std::make_shared<OpenRep>();
+  rep->result.id = FileId{host(), ino};
+  rep->result.type = node.type;
+  rep->result.size = node.size;
+  rep->result.version = node.version;
+  rep->result.cacheable = !node.write_shared && !req.flags.no_cache;
+  respond(Reply{Status::ok(), rep});
+}
+
+void FsServer::do_close(HostId src, const CloseReq& req, Respond respond) {
+  ++stats_.closes;
+  Inode* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr) return respond(error_reply(Err::kStale, "close"));
+  auto it = node->users.find(src);
+  if (it != node->users.end()) {
+    if (req.flags.read && it->second.readers > 0) --it->second.readers;
+    if (req.flags.write && it->second.writers > 0) --it->second.writers;
+    if (!it->second.any()) node->users.erase(it);
+  }
+  if (node->type == FileType::kPipe) {
+    // An end closed: parked peers must re-evaluate (EOF / EPIPE).
+    notify_pipe_waiters(*node);
+  } else {
+    std::vector<HostId> to_disable;
+    update_sharing(*node, &to_disable);  // sharing may end; no callbacks
+  }
+  maybe_reap(req.id.ino);
+  respond(Reply{Status::ok(), nullptr});
+}
+
+// ---------------------------------------------------------------------------
+// kFsIo dispatch
+// ---------------------------------------------------------------------------
+
+void FsServer::handle_io(HostId src, const Request& req, Respond respond) {
+  switch (static_cast<IoOp>(req.op)) {
+    case IoOp::kRead: {
+      auto body = rpc::body_cast<ReadReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      const int nblocks = static_cast<int>(
+          (body->len + costs_.block_size - 1) / costs_.block_size);
+      const int misses = cache_misses(body->id.ino, body->offset, body->len);
+      charge(costs_.fs_block_cpu * std::max(1, nblocks), misses,
+             [this, src, body, respond = std::move(respond)]() mutable {
+               do_read(src, *body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kWrite: {
+      auto body = rpc::body_cast<WriteReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      const int nblocks = static_cast<int>(
+          (static_cast<std::int64_t>(body->data.size()) + costs_.block_size -
+           1) /
+          costs_.block_size);
+      // Writes allocate server cache blocks but need no disk read.
+      cache_misses(body->id.ino, body->offset,
+                   static_cast<std::int64_t>(body->data.size()));
+      charge(costs_.fs_block_cpu * std::max(1, nblocks), 0,
+             [this, src, body, respond = std::move(respond)]() mutable {
+               do_write(src, *body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kGroupRead:
+    case IoOp::kGroupWrite: {
+      auto body = rpc::body_cast<GroupIoReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_block_cpu, 0,
+             [this, src, op = static_cast<IoOp>(req.op), body,
+              respond = std::move(respond)]() mutable {
+               do_group_io(src, op, *body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kShareOffset: {
+      auto body = rpc::body_cast<ShareOffsetReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_open_cpu, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               auto* node = inodes_.count(body->id.ino) ? &inode(body->id.ino)
+                                                        : nullptr;
+               if (node == nullptr)
+                 return respond(error_reply(Err::kStale, "share offset"));
+               // First promotion wins; later calls for the same group keep
+               // the server's (authoritative) offset.
+               node->group_offsets.emplace(body->group, body->offset);
+               respond(Reply{Status::ok(), nullptr});
+             });
+      return;
+    }
+    case IoOp::kMigrateStream: {
+      auto body = rpc::body_cast<MigrateStreamReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_open_cpu, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               do_migrate_stream(*body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kPipeRead: {
+      auto body = rpc::body_cast<PipeIoReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_block_cpu, 0,
+             [this, src, body, respond = std::move(respond)]() mutable {
+               do_pipe_read(src, *body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kPipeWrite: {
+      auto body = rpc::body_cast<PipeIoReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_block_cpu, 0,
+             [this, src, body, respond = std::move(respond)]() mutable {
+               do_pipe_write(src, *body, std::move(respond));
+             });
+      return;
+    }
+    case IoOp::kTruncate: {
+      auto body = rpc::body_cast<TruncateReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      charge(costs_.fs_block_cpu, 0,
+             [this, body, respond = std::move(respond)]() mutable {
+               auto* node = inodes_.count(body->id.ino) ? &inode(body->id.ino)
+                                                        : nullptr;
+               if (node == nullptr)
+                 return respond(error_reply(Err::kStale, "truncate"));
+               node->size = body->size;
+               const std::int64_t keep =
+                   (body->size + costs_.block_size - 1) / costs_.block_size;
+               for (auto it = node->blocks.begin();
+                    it != node->blocks.end();) {
+                 if (it->first >= keep)
+                   it = node->blocks.erase(it);
+                 else
+                   ++it;
+               }
+               respond(Reply{Status::ok(), nullptr});
+             });
+      return;
+    }
+  }
+  respond(error_reply(Err::kNotSupported, "bad io op"));
+}
+
+void FsServer::do_read(HostId, const ReadReq& req, Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr) return respond(error_reply(Err::kStale, "read"));
+  ++stats_.reads;
+  auto rep = std::make_shared<ReadRep>();
+  rep->data = pread(*node, req.offset, req.len);
+  stats_.bytes_read += static_cast<std::int64_t>(rep->data.size());
+  respond(Reply{Status::ok(), rep});
+}
+
+void FsServer::do_write(HostId, const WriteReq& req, Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr) return respond(error_reply(Err::kStale, "write"));
+  ++stats_.writes;
+  auto rep = std::make_shared<WriteRep>();
+  rep->written = pwrite(*node, req.offset, req.data);
+  rep->new_size = node->size;
+  stats_.bytes_written += rep->written;
+  respond(Reply{Status::ok(), rep});
+}
+
+void FsServer::do_group_io(HostId, IoOp op, const GroupIoReq& req,
+                           Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr) return respond(error_reply(Err::kStale, "group io"));
+  auto it = node->group_offsets.find(req.group);
+  if (it == node->group_offsets.end())
+    return respond(error_reply(Err::kInval, "offset not server-managed"));
+
+  auto rep = std::make_shared<GroupIoRep>();
+  if (op == IoOp::kGroupRead) {
+    ++stats_.reads;
+    rep->data = pread(*node, it->second, req.len);
+    stats_.bytes_read += static_cast<std::int64_t>(rep->data.size());
+    it->second += static_cast<std::int64_t>(rep->data.size());
+  } else {
+    ++stats_.writes;
+    rep->written = pwrite(*node, it->second, req.data);
+    stats_.bytes_written += rep->written;
+    it->second += rep->written;
+  }
+  rep->new_offset = it->second;
+  respond(Reply{Status::ok(), rep});
+}
+
+void FsServer::notify_pipe_waiters(Inode& node) {
+  if (node.pipe_waiters.empty()) return;
+  std::vector<HostId> waiters;
+  std::swap(waiters, node.pipe_waiters);
+  std::sort(waiters.begin(), waiters.end());
+  waiters.erase(std::unique(waiters.begin(), waiters.end()), waiters.end());
+  for (HostId h : waiters) {
+    ++stats_.pipe_wakeups;
+    auto cb = std::make_shared<CallbackReq>();
+    cb->id = FileId{host(), node.ino};
+    rpc_.call(h, ServiceId::kFsCallback,
+              static_cast<int>(CallbackOp::kPipeReady), cb,
+              [](util::Result<Reply>) {});
+  }
+}
+
+void FsServer::do_pipe_read(HostId src, const PipeIoReq& req,
+                            Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr || node->type != FileType::kPipe)
+    return respond(error_reply(Err::kStale, "pipe read"));
+  ++stats_.pipe_reads;
+
+  if (!node->pipe_buffer.empty()) {
+    const auto n = std::min<std::size_t>(
+        static_cast<std::size_t>(req.len), node->pipe_buffer.size());
+    auto rep = std::make_shared<PipeIoRep>();
+    rep->data.assign(node->pipe_buffer.begin(),
+                     node->pipe_buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    node->pipe_buffer.erase(
+        node->pipe_buffer.begin(),
+        node->pipe_buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    notify_pipe_waiters(*node);  // writers may proceed
+    return respond(Reply{Status::ok(), rep});
+  }
+
+  int writers = 0;
+  for (const auto& [h, use] : node->users) writers += use.writers;
+  if (writers == 0) {
+    auto rep = std::make_shared<PipeIoRep>();
+    rep->eof = true;
+    return respond(Reply{Status::ok(), rep});
+  }
+  node->pipe_waiters.push_back(src);
+  respond(error_reply(Err::kWouldBlock, "pipe empty"));
+}
+
+void FsServer::do_pipe_write(HostId src, const PipeIoReq& req,
+                             Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr || node->type != FileType::kPipe)
+    return respond(error_reply(Err::kStale, "pipe write"));
+  ++stats_.pipe_writes;
+
+  int readers = 0;
+  for (const auto& [h, use] : node->users) readers += use.readers;
+  if (readers == 0)
+    return respond(error_reply(Err::kPipe, "no readers"));
+
+  if (static_cast<std::int64_t>(node->pipe_buffer.size()) >=
+      costs_.pipe_capacity) {
+    node->pipe_waiters.push_back(src);
+    return respond(error_reply(Err::kWouldBlock, "pipe full"));
+  }
+  node->pipe_buffer.insert(node->pipe_buffer.end(), req.data.begin(),
+                           req.data.end());
+  notify_pipe_waiters(*node);  // readers may proceed
+  auto rep = std::make_shared<PipeIoRep>();
+  rep->written = static_cast<std::int64_t>(req.data.size());
+  respond(Reply{Status::ok(), rep});
+}
+
+void FsServer::do_migrate_stream(const MigrateStreamReq& req,
+                                 Respond respond) {
+  auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
+  if (node == nullptr)
+    return respond(error_reply(Err::kStale, "migrate stream"));
+  ++stats_.stream_migrations;
+
+  // Re-attributing a stream is semantically an open on the destination
+  // host: any third host holding dirty cached data must be recalled first,
+  // exactly as finish_open does (the source already flushed its own dirty
+  // data before asking us to move the stream). Pipes have no caches.
+  if (node->type != FileType::kPipe &&
+      node->last_writer != sim::kInvalidHost &&
+      node->last_writer != req.from && node->last_writer != req.to) {
+    ++stats_.recalls;
+    const HostId writer = node->last_writer;
+    node->last_writer = sim::kInvalidHost;
+    auto cb = std::make_shared<CallbackReq>();
+    cb->id = req.id;
+    rpc_.call(writer, ServiceId::kFsCallback,
+              static_cast<int>(CallbackOp::kRecallDirty), cb,
+              [this, req, respond = std::move(respond)](
+                  util::Result<Reply>) mutable {
+                do_migrate_stream(req, std::move(respond));
+              });
+    return;
+  }
+
+  // Move one open reference's attribution from the source host to the
+  // destination host — unless the source keeps a fork-shared reference of
+  // its own, in which case the destination simply gains one.
+  if (!req.retain_source) {
+    auto it = node->users.find(req.from);
+    if (it != node->users.end()) {
+      if (req.flags.read && it->second.readers > 0) --it->second.readers;
+      if (req.flags.write && it->second.writers > 0) --it->second.writers;
+      if (!it->second.any()) node->users.erase(it);
+    }
+  }
+  HostUse& use = node->users[req.to];
+  if (req.flags.read) ++use.readers;
+  if (req.flags.write) ++use.writers;
+
+  // The source flushed its dirty blocks before asking us to move the stream,
+  // so it no longer holds dirty data.
+  if (node->last_writer == req.from) node->last_writer = sim::kInvalidHost;
+  if (req.flags.write && node->type != FileType::kPipe) {
+    // The destination becomes a (potentially caching) writer: bump the
+    // version exactly as a write-open would, so stale blocks cached on the
+    // destination from an earlier visit are invalidated when the stream
+    // arrives. (Without this, a process writing A -> B -> A loses B's
+    // updates to A's stale cache.)
+    ++node->version;
+    node->last_writer = node->write_shared ? sim::kInvalidHost : req.to;
+  }
+
+  // Migration can create or destroy write sharing.
+  std::vector<HostId> to_disable;
+  update_sharing(*node, &to_disable);
+  for (HostId h : to_disable) {
+    auto cb = std::make_shared<CallbackReq>();
+    cb->id = req.id;
+    rpc_.call(h, ServiceId::kFsCallback,
+              static_cast<int>(CallbackOp::kDisableCache), cb,
+              [](util::Result<Reply>) {});
+  }
+
+  auto rep = std::make_shared<MigrateStreamRep>();
+  rep->cacheable = !node->write_shared;
+  rep->version = node->version;
+  rep->size = node->size;
+  respond(Reply{Status::ok(), rep});
+}
+
+}  // namespace sprite::fs

@@ -1,0 +1,180 @@
+// Sprite file server: namespace, block storage, and cache consistency.
+//
+// The server is the authority for
+//   * name lookup (every pathname component costs server CPU — Sprite has no
+//     client name caching, which is exactly why parallel pmake saturates the
+//     server in experiment E3),
+//   * cache consistency [NWO88]: it tracks which hosts have each file open
+//     in which modes, recalls dirty blocks from the last writer when another
+//     host opens the file (sequential write sharing), and disables client
+//     caching entirely under concurrent write sharing,
+//   * shared stream access positions: when process migration causes a
+//     stream's offset to be shared across hosts, the server manages the
+//     offset ("shadow streams", [Wel90]),
+//   * stream migration: moving a client host's open attribution when a
+//     process migrates (the per-file cost in experiment E1).
+//
+// Block data is stored sparsely per inode and is authoritative ("disk").
+// A block cache of configurable capacity determines whether an access pays
+// the disk latency; contents are always served correctly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "fs/types.h"
+#include "fs/wire.h"
+#include "rpc/rpc.h"
+#include "sim/costs.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace sprite::fs {
+
+class FsServer {
+ public:
+  FsServer(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
+           const sim::Costs& costs);
+
+  // Registers kFsName and kFsIo handlers on this host's RpcNode.
+  void register_services();
+
+  sim::HostId host() const { return rpc_.host(); }
+
+  // ---- Direct namespace setup (experiment builders; no simulated cost) ----
+  util::Status mkdir_p(const std::string& path);
+  // Creates a regular file of `logical_size` bytes (contents read as zeros).
+  util::Result<FileId> create_file(const std::string& path,
+                                   std::int64_t logical_size = 0);
+  util::Result<FileId> create_pdev(const std::string& path,
+                                   sim::HostId owner_host, int tag);
+  // Creates an anonymous pipe whose two ends are attributed to `creator`
+  // (one reader, one writer). Reaped when the last end closes.
+  FileId create_pipe_inode(sim::HostId creator);
+  // Direct inspection helpers for tests.
+  util::Result<StatResult> stat_path(const std::string& path) const;
+  util::Result<Bytes> read_direct(FileId id, std::int64_t offset,
+                                  std::int64_t len) const;
+  bool is_cacheable(FileId id) const;
+  std::int64_t group_offset(FileId id, std::int64_t group) const;
+
+  // ---- Statistics ----
+  struct Stats {
+    std::int64_t opens = 0;
+    std::int64_t hinted_opens = 0;  // resolved via a client name-cache hint
+    std::int64_t closes = 0;
+    std::int64_t lookup_components = 0;
+    std::int64_t reads = 0;
+    std::int64_t writes = 0;
+    std::int64_t bytes_read = 0;
+    std::int64_t bytes_written = 0;
+    std::int64_t recalls = 0;
+    std::int64_t cache_disables = 0;
+    std::int64_t disk_accesses = 0;
+    std::int64_t stream_migrations = 0;
+    std::int64_t pipe_reads = 0;
+    std::int64_t pipe_writes = 0;
+    std::int64_t pipe_wakeups = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct HostUse {
+    int readers = 0;
+    int writers = 0;
+    bool any() const { return readers > 0 || writers > 0; }
+  };
+
+  struct Inode {
+    Ino ino = kInvalidIno;
+    FileType type = FileType::kRegular;
+    std::map<std::string, Ino> children;  // directories
+    std::int64_t size = 0;
+    std::int64_t version = 0;
+    std::map<std::int64_t, Bytes> blocks;  // sparse authoritative data
+    bool unlinked = false;
+
+    // Consistency state.
+    std::map<sim::HostId, HostUse> users;
+    bool write_shared = false;            // caching disabled while true
+    sim::HostId last_writer = sim::kInvalidHost;
+
+    // Server-managed shared access positions: stream group -> offset.
+    std::map<std::int64_t, std::int64_t> group_offsets;
+
+    // Pseudo-device registration.
+    sim::HostId pdev_host = sim::kInvalidHost;
+    int pdev_tag = 0;
+
+    // Pipe state: the buffer lives here; hosts whose read/write parked are
+    // woken with a kPipeReady callback on any state change.
+    Bytes pipe_buffer;
+    std::vector<sim::HostId> pipe_waiters;
+  };
+
+  using Respond = std::function<void(rpc::Reply)>;
+
+  // RPC dispatch.
+  void handle_name(sim::HostId src, const rpc::Request& req, Respond respond);
+  void handle_io(sim::HostId src, const rpc::Request& req, Respond respond);
+
+  // Individual operations (invoked after the CPU cost has been charged).
+  void do_open(sim::HostId src, const OpenReq& req, bool hint_ok,
+               Respond respond);
+  void finish_open(sim::HostId src, const OpenReq& req, Ino ino,
+                   Respond respond);
+  void do_close(sim::HostId src, const CloseReq& req, Respond respond);
+  void do_read(sim::HostId src, const ReadReq& req, Respond respond);
+  void do_write(sim::HostId src, const WriteReq& req, Respond respond);
+  void do_group_io(sim::HostId src, IoOp op, const GroupIoReq& req,
+                   Respond respond);
+  void do_migrate_stream(const MigrateStreamReq& req, Respond respond);
+  void do_pipe_read(sim::HostId src, const PipeIoReq& req, Respond respond);
+  void do_pipe_write(sim::HostId src, const PipeIoReq& req, Respond respond);
+  // Wakes every host parked on this pipe.
+  void notify_pipe_waiters(Inode& node);
+
+  // Namespace helpers.
+  util::Result<Ino> lookup(const std::string& path) const;
+  util::Result<Ino> create_at(const std::string& path, FileType type);
+  Inode& inode(Ino i);
+  const Inode* find_inode(Ino i) const;
+  void maybe_reap(Ino i);
+
+  // Data helpers (authoritative storage).
+  Bytes pread(Inode& node, std::int64_t offset, std::int64_t len);
+  std::int64_t pwrite(Inode& node, std::int64_t offset, const Bytes& data);
+
+  // Consistency helpers.
+  // Re-derives write_shared from current users; returns callbacks to send.
+  void update_sharing(Inode& node, std::vector<sim::HostId>* to_disable);
+  // Counts server-cache misses for the touched block range and updates LRU.
+  int cache_misses(Ino ino, std::int64_t offset, std::int64_t len);
+
+  // Charges `cpu` then runs `fn` (+ `disk_blocks` of disk latency after CPU).
+  void charge(sim::Time cpu, int disk_blocks, std::function<void()> fn);
+
+  sim::Simulator& sim_;
+  sim::Cpu& cpu_;
+  rpc::RpcNode& rpc_;
+  const sim::Costs& costs_;
+
+  std::map<Ino, Inode> inodes_;
+  Ino root_ = kInvalidIno;
+  Ino next_ino_ = 1;
+
+  // Server block cache (timing only): LRU over (ino, block).
+  std::list<std::pair<Ino, std::int64_t>> lru_;
+  std::map<std::pair<Ino, std::int64_t>,
+           std::list<std::pair<Ino, std::int64_t>>::iterator>
+      cached_;
+
+  Stats stats_;
+};
+
+}  // namespace sprite::fs

@@ -1,0 +1,24 @@
+#include "fs/types.h"
+
+namespace sprite::fs {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+int path_components(const std::string& path) {
+  return static_cast<int>(split_path(path).size());
+}
+
+}  // namespace sprite::fs

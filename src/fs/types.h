@@ -1,0 +1,87 @@
+// Shared types for the Sprite network file system substrate.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ids.h"
+
+namespace sprite::fs {
+
+// Inode number, unique per server.
+using Ino = std::int64_t;
+inline constexpr Ino kInvalidIno = -1;
+
+// Globally unique file identity: (I/O server, inode).
+struct FileId {
+  sim::HostId server = sim::kInvalidHost;
+  Ino ino = kInvalidIno;
+
+  bool valid() const { return server != sim::kInvalidHost; }
+  auto operator<=>(const FileId&) const = default;
+};
+
+enum class FileType : std::uint8_t {
+  kRegular,
+  kDirectory,
+  kPseudoDevice,
+  // An IPC pipe: a kernel buffer resident at the file server. Reader and
+  // writer ends are ordinary streams, so migration re-attributes them with
+  // the same machinery as files — the buffer itself never moves, and
+  // neither endpoint can tell where the other runs.
+  kPipe,
+};
+
+// Open flags, 4.3BSD-flavoured.
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  // Bypass the client block cache (used for VM backing files: Sprite's
+  // virtual memory pages through the FS but does not pollute the block
+  // cache with page traffic).
+  bool no_cache = false;
+
+  static OpenFlags read_only() { return {.read = true}; }
+  static OpenFlags write_only() { return {.write = true}; }
+  static OpenFlags read_write() { return {.read = true, .write = true}; }
+  static OpenFlags create_rw() {
+    return {.read = true, .write = true, .create = true};
+  }
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+// What the name server returns from a successful open.
+struct OpenResult {
+  FileId id;
+  FileType type = FileType::kRegular;
+  std::int64_t size = 0;
+  // Incremented each time a client opens the file for writing; clients use
+  // it to validate cached blocks across opens.
+  std::int64_t version = 0;
+  // False when concurrent write sharing forces all clients to bypass their
+  // caches for this file.
+  bool cacheable = true;
+  // For pseudo-devices: host running the user-level server, and its tag.
+  sim::HostId pdev_host = sim::kInvalidHost;
+  int pdev_tag = 0;
+};
+
+struct StatResult {
+  FileId id;
+  FileType type = FileType::kRegular;
+  std::int64_t size = 0;
+  std::int64_t version = 0;
+};
+
+// Splits "/a/b/c" into {"a","b","c"}. Empty components are dropped.
+std::vector<std::string> split_path(const std::string& path);
+
+// Number of pathname components (lookup cost driver).
+int path_components(const std::string& path);
+
+}  // namespace sprite::fs

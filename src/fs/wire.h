@@ -1,0 +1,206 @@
+// RPC wire messages for the file system protocol.
+//
+// Three services:
+//   kFsName     (client -> server): open/close/unlink/mkdir/stat/truncate
+//   kFsIo       (client -> server): block reads/writes, server-managed stream
+//                                   offsets, stream migration
+//   kFsCallback (server -> client): cache consistency callbacks (recall dirty
+//                                   blocks, disable caching)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/types.h"
+#include "rpc/rpc.h"
+
+namespace sprite::fs {
+
+// ---- kFsName ops ----
+enum class NameOp : int {
+  kOpen = 1,
+  kClose,
+  kUnlink,
+  kMkdir,
+  kStat,
+  kRegisterPdev,
+  kCreatePipe,
+};
+
+struct OpenReq : rpc::Message {
+  std::string path;
+  OpenFlags flags;
+  // Client name-cache hint: when set, the server resolves by inode and
+  // skips the per-component pathname lookup (the thesis's future-work
+  // optimization; Nelson estimated it would halve server load). The server
+  // falls back to a full lookup if the hint is stale.
+  Ino hint = kInvalidIno;
+  std::int64_t wire_bytes() const override {
+    return 24 + static_cast<std::int64_t>(path.size());
+  }
+};
+
+struct OpenRep : rpc::Message {
+  OpenResult result;
+  std::int64_t wire_bytes() const override { return 64; }
+};
+
+struct CloseReq : rpc::Message {
+  FileId id;
+  OpenFlags flags;  // the flags the file was opened with
+  std::int64_t wire_bytes() const override { return 32; }
+};
+
+struct PathReq : rpc::Message {  // unlink / mkdir / stat
+  std::string path;
+  std::int64_t wire_bytes() const override {
+    return 8 + static_cast<std::int64_t>(path.size());
+  }
+};
+
+struct StatRep : rpc::Message {
+  StatResult st;
+  std::int64_t wire_bytes() const override { return 48; }
+};
+
+struct RegisterPdevReq : rpc::Message {
+  std::string path;
+  sim::HostId owner_host = sim::kInvalidHost;
+  int tag = 0;
+  std::int64_t wire_bytes() const override {
+    return 16 + static_cast<std::int64_t>(path.size());
+  }
+};
+
+// ---- kFsIo ops ----
+enum class IoOp : int {
+  kRead = 1,        // byte-range read (server side handles blocks/disk)
+  kWrite,           // byte-range write
+  kGroupRead,       // read via server-managed shared access position
+  kGroupWrite,      // write via server-managed shared access position
+  kShareOffset,     // promote a stream group's offset to server management
+  kMigrateStream,   // move a stream's open attribution between client hosts
+  kTruncate,
+  kPipeRead,        // consume from a pipe buffer (kWouldBlock when empty)
+  kPipeWrite,       // append to a pipe buffer (kWouldBlock when full)
+};
+
+struct ReadReq : rpc::Message {
+  FileId id;
+  std::int64_t offset = 0;
+  std::int64_t len = 0;
+  std::int64_t wire_bytes() const override { return 40; }
+};
+
+struct ReadRep : rpc::Message {
+  Bytes data;
+  std::int64_t wire_bytes() const override {
+    return 16 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct WriteReq : rpc::Message {
+  FileId id;
+  std::int64_t offset = 0;
+  Bytes data;
+  std::int64_t wire_bytes() const override {
+    return 24 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct WriteRep : rpc::Message {
+  std::int64_t written = 0;
+  std::int64_t new_size = 0;
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+// Shared (server-managed) access positions, keyed by stream group.
+struct GroupIoReq : rpc::Message {
+  FileId id;
+  std::int64_t group = 0;
+  std::int64_t len = 0;   // for kGroupRead
+  Bytes data;             // for kGroupWrite
+  std::int64_t wire_bytes() const override {
+    return 40 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct GroupIoRep : rpc::Message {
+  Bytes data;                 // for reads
+  std::int64_t written = 0;   // for writes
+  std::int64_t new_offset = 0;
+  std::int64_t wire_bytes() const override {
+    return 24 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct ShareOffsetReq : rpc::Message {
+  FileId id;
+  std::int64_t group = 0;
+  std::int64_t offset = 0;  // current offset, transferred to the server
+  std::int64_t wire_bytes() const override { return 40; }
+};
+
+struct MigrateStreamReq : rpc::Message {
+  FileId id;
+  OpenFlags flags;
+  sim::HostId from = sim::kInvalidHost;
+  sim::HostId to = sim::kInvalidHost;
+  // True when other processes remaining on the source still share this
+  // stream (a fork-shared descriptor migrated): the destination gains a
+  // reference without the source losing its own.
+  bool retain_source = false;
+  std::int64_t wire_bytes() const override { return 48; }
+};
+
+struct MigrateStreamRep : rpc::Message {
+  // Cacheability of the file as seen from the destination host after the
+  // move (migration may create write sharing and disable caching).
+  bool cacheable = true;
+  std::int64_t version = 0;
+  std::int64_t size = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct TruncateReq : rpc::Message {
+  FileId id;
+  std::int64_t size = 0;
+  std::int64_t wire_bytes() const override { return 32; }
+};
+
+struct CreatePipeRep : rpc::Message {
+  FileId id;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct PipeIoReq : rpc::Message {
+  FileId id;
+  std::int64_t len = 0;  // read
+  Bytes data;            // write
+  std::int64_t wire_bytes() const override {
+    return 32 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct PipeIoRep : rpc::Message {
+  Bytes data;               // read results
+  std::int64_t written = 0; // write results
+  bool eof = false;         // read: no writers remain and buffer drained
+  std::int64_t wire_bytes() const override {
+    return 24 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+// ---- kFsCallback ops (server -> client) ----
+enum class CallbackOp : int {
+  kRecallDirty = 1,  // flush dirty blocks of `id` back to the server
+  kDisableCache,     // stop caching `id`; flush dirty blocks first
+  kPipeReady,        // a parked pipe operation may be retried
+};
+
+struct CallbackReq : rpc::Message {
+  FileId id;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+}  // namespace sprite::fs

@@ -1,0 +1,120 @@
+#include "kern/cluster.h"
+
+#include "migration/manager.h"
+#include "proc/table.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::kern {
+
+Host::Host(Cluster& cluster, sim::HostId id, bool is_file_server)
+    : cluster_(cluster), id_(id) {
+  const sim::Costs& costs = cluster.costs();
+  cpu_ = std::make_unique<sim::Cpu>(cluster.sim(), costs);
+  cpu_->start_load_sampling();
+  rpc_ = std::make_unique<rpc::RpcNode>(cluster.sim(), cluster.net(), *cpu_,
+                                        id, costs);
+  fs_client_ = std::make_unique<fs::FsClient>(cluster.sim(), *cpu_, *rpc_,
+                                              costs);
+  fs_client_->register_services();
+  pdev_ = std::make_unique<fs::PdevRegistry>(cluster.sim(), *cpu_, *rpc_,
+                                             costs);
+  pdev_->register_services();
+  vm_ = std::make_unique<vm::VmManager>(cluster.sim(), *cpu_, *fs_client_,
+                                        costs, id);
+  procs_ = std::make_unique<proc::ProcTable>(*this);
+  procs_->register_services();
+  mig_ = std::make_unique<mig::MigrationManager>(*this);
+  mig_->register_services();
+  procs_->set_migrator(mig_.get());
+  if (is_file_server) {
+    fs_server_ = std::make_unique<fs::FsServer>(cluster.sim(), *cpu_, *rpc_,
+                                                costs);
+    fs_server_->register_services();
+  }
+}
+
+Host::~Host() = default;
+
+void Host::note_user_input() {
+  last_input_ = cluster_.sim().now();
+  if (input_observer_) input_observer_();
+}
+
+Cluster::Cluster(Config config)
+    : config_(config), sim_(config.seed), net_(sim_, config_.costs) {
+  SPRITE_CHECK(config_.num_file_servers >= 1);
+  sim_.set_horizon(config_.horizon);
+
+  const int total = config_.num_file_servers + config_.num_workstations;
+  // Attach all hosts to the network first so ids are assigned, then build
+  // the kernels. Delivery handlers look hosts up at packet arrival.
+  for (int i = 0; i < total; ++i) {
+    const sim::HostId id = net_.attach([this, i](const sim::Packet& pkt) {
+      hosts_[static_cast<std::size_t>(i)]->rpc().handle_packet(pkt);
+    });
+    SPRITE_CHECK(id == i);
+  }
+  for (int i = 0; i < total; ++i) {
+    const bool is_server = i < config_.num_file_servers;
+    hosts_.push_back(std::make_unique<Host>(*this, i, is_server));
+    if (is_server) file_servers_.push_back(i);
+  }
+
+  // Standard directories every experiment relies on.
+  host(file_servers_[0]).fs_server()->mkdir_p("/swap");
+  host(file_servers_[0]).fs_server()->mkdir_p("/bin");
+  host(file_servers_[0]).fs_server()->mkdir_p("/tmp");
+
+  // Prefix table: server 0 exports "/", server i>0 exports "/s<i>".
+  for (auto& h : hosts_) {
+    h->fs().add_prefix("/", file_servers_[0]);
+    for (std::size_t s = 1; s < file_servers_.size(); ++s) {
+      h->fs().add_prefix("/s" + std::to_string(s), file_servers_[s]);
+      host(file_servers_[s]).fs_server()->mkdir_p("/");  // root exists
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Host& Cluster::file_server(int i) {
+  SPRITE_CHECK(i >= 0 && static_cast<std::size_t>(i) < file_servers_.size());
+  return host(file_servers_[static_cast<std::size_t>(i)]);
+}
+
+std::vector<sim::HostId> Cluster::workstations() const {
+  std::vector<sim::HostId> out;
+  for (const auto& h : hosts_) {
+    if (!h->is_file_server()) out.push_back(h->id());
+  }
+  return out;
+}
+
+void Cluster::register_program(const std::string& path,
+                               proc::ProgramImage image) {
+  programs_[path] = std::move(image);
+}
+
+util::Status Cluster::install_program(const std::string& path,
+                                      proc::ProgramImage image) {
+  auto r = file_server(0).fs_server()->create_file(
+      path, image.code_pages * costs().page_size);
+  if (!r.is_ok()) return r.status();
+  register_program(path, std::move(image));
+  return util::Status::ok();
+}
+
+const proc::ProgramImage* Cluster::find_program(
+    const std::string& path) const {
+  auto it = programs_.find(path);
+  return it == programs_.end() ? nullptr : &it->second;
+}
+
+void Cluster::run_until_done(const std::function<bool()>& done) {
+  const bool finished = sim_.run_while_pending(done);
+  SPRITE_CHECK_MSG(finished,
+                   "simulation starved before completion (protocol deadlock?)");
+}
+
+}  // namespace sprite::kern

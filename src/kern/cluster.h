@@ -1,0 +1,139 @@
+// Cluster and Host: the glue binding one simulated Sprite network together.
+//
+// A Cluster owns the Simulator, the shared-medium Network, the calibration
+// Costs, and one Host (kernel instance) per machine. File servers export
+// prefixes of the shared namespace; every host runs the FS client, the RPC
+// node, the VM manager, and the process table. The migration and
+// load-sharing layers attach on top (see migration/ and loadshare/).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/client.h"
+#include "fs/pdev.h"
+#include "fs/server.h"
+#include "proc/program.h"
+#include "rpc/rpc.h"
+#include "sim/costs.h"
+#include "sim/cpu.h"
+#include "sim/ids.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "vm/vm.h"
+
+namespace sprite::proc {
+class ProcTable;
+}
+namespace sprite::mig {
+class MigrationManager;
+}
+
+namespace sprite::kern {
+
+class Cluster;
+
+// One machine's kernel: the bundle of per-host subsystems.
+class Host {
+ public:
+  Host(Cluster& cluster, sim::HostId id, bool is_file_server);
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  sim::HostId id() const { return id_; }
+  bool is_file_server() const { return fs_server_ != nullptr; }
+  std::string name() const { return "host" + std::to_string(id_); }
+
+  Cluster& cluster() { return cluster_; }
+  sim::Cpu& cpu() { return *cpu_; }
+  rpc::RpcNode& rpc() { return *rpc_; }
+  fs::FsClient& fs() { return *fs_client_; }
+  fs::FsServer* fs_server() { return fs_server_.get(); }
+  fs::PdevRegistry& pdev() { return *pdev_; }
+  vm::VmManager& vm() { return *vm_; }
+  proc::ProcTable& procs() { return *procs_; }
+  mig::MigrationManager& mig() { return *mig_; }
+
+  // ---- User-input tracking (idle-host detection reads this) ----
+  // Called by the user-activity model whenever the simulated user types or
+  // moves the mouse.
+  void note_user_input();
+  sim::Time last_user_input() const { return last_input_; }
+  // Observer invoked on every user input (the load-sharing node hooks this
+  // to trigger eviction and not-idle announcements).
+  void set_input_observer(std::function<void()> fn) {
+    input_observer_ = std::move(fn);
+  }
+
+ private:
+  Cluster& cluster_;
+  sim::HostId id_;
+  std::unique_ptr<sim::Cpu> cpu_;
+  std::unique_ptr<rpc::RpcNode> rpc_;
+  std::unique_ptr<fs::FsClient> fs_client_;
+  std::unique_ptr<fs::FsServer> fs_server_;
+  std::unique_ptr<fs::PdevRegistry> pdev_;
+  std::unique_ptr<vm::VmManager> vm_;
+  std::unique_ptr<proc::ProcTable> procs_;
+  std::unique_ptr<mig::MigrationManager> mig_;
+  sim::Time last_input_;
+  std::function<void()> input_observer_;
+};
+
+class Cluster {
+ public:
+  struct Config {
+    int num_workstations = 4;
+    int num_file_servers = 1;
+    std::uint64_t seed = 1;
+    sim::Costs costs;
+    sim::Time horizon = sim::Time::hours(24);
+  };
+
+  explicit Cluster(Config config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  const sim::Costs& costs() const { return config_.costs; }
+
+  std::size_t num_hosts() const { return hosts_.size(); }
+  Host& host(sim::HostId id) { return *hosts_[static_cast<std::size_t>(id)]; }
+
+  // File server `i` (0-based). Server 0 exports "/", additional servers
+  // export "/s<i>".
+  Host& file_server(int i = 0);
+  // Workstations are the hosts that are not file servers.
+  std::vector<sim::HostId> workstations() const;
+
+  // Runs the simulation until `done` returns true; CHECK-fails if the event
+  // queue starves first (deadlock in a protocol under test).
+  void run_until_done(const std::function<bool()>& done);
+
+  // ---- Program registry ----
+  // All hosts see the same binaries through the shared file system, so
+  // executable images are registered cluster-wide. install_program also
+  // creates the executable file on file server 0 sized to the code segment.
+  void register_program(const std::string& path, proc::ProgramImage image);
+  util::Status install_program(const std::string& path,
+                               proc::ProgramImage image);
+  const proc::ProgramImage* find_program(const std::string& path) const;
+
+ private:
+  Config config_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<sim::HostId> file_servers_;
+  std::map<std::string, proc::ProgramImage> programs_;
+};
+
+}  // namespace sprite::kern

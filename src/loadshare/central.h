@@ -1,0 +1,127 @@
+// Centralized host selection: the migd daemon (thesis chapter 6's winning
+// architecture).
+//
+// migd is a user-level server process reached through a pseudo-device, just
+// as in Sprite: every transaction pays the pdev wakeup latency plus daemon
+// CPU on migd's host. Workstations announce their availability periodically
+// and immediately on state changes; requesters ask for idle hosts and
+// release them when done. The daemon enforces fair allocation under
+// contention and never double-assigns a host (its state is authoritative —
+// the property the distributed architectures give up).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fs/client.h"
+#include "loadshare/selector.h"
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace sprite::kern {
+class Host;
+}
+
+namespace sprite::ls {
+
+class LoadShareNode;
+
+class MigdDaemon {
+ public:
+  // `host` is where the daemon process runs (any host; Sprite ran it on a
+  // reliable machine). install() creates the pseudo-device file.
+  explicit MigdDaemon(kern::Host& host);
+  util::Status install(const std::string& pdev_path);
+
+  struct HostInfo {
+    bool idle = false;
+    double load = 0.0;
+    sim::Time last_announce;
+    sim::HostId assigned_to = sim::kInvalidHost;
+  };
+
+  int idle_unassigned(sim::Time now) const;
+  const std::map<sim::HostId, HostInfo>& table() const { return table_; }
+
+  // Crash-restart recovery (thesis §6.3.2: "the facility can be restarted
+  // as soon as its failure is detected"). All soft state is dropped; the
+  // next round of announcements repopulates availability, and hosts that
+  // are running granted work announce themselves busy, so they are not
+  // double-granted even though the assignment table was lost.
+  void restart();
+
+  struct Stats {
+    std::int64_t announcements = 0;
+    std::int64_t requests = 0;
+    std::int64_t grants = 0;
+    std::int64_t denials = 0;
+    std::int64_t releases = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string handle(const std::string& request);
+  std::string handle_req(sim::HostId requester, int n);
+  bool fresh(const HostInfo& info, sim::Time now) const;
+
+  kern::Host& host_;
+  std::map<sim::HostId, HostInfo> table_;
+  std::map<sim::HostId, int> grants_by_requester_;
+  std::map<sim::HostId, sim::Time> last_request_;
+  // Hosts reclaimed from an over-share requester; reported back to it in
+  // its next REQ reply (Sprite's cooperative recall: pmake returns hosts at
+  // task boundaries).
+  std::map<sim::HostId, std::vector<sim::HostId>> revocations_;
+  Stats stats_;
+};
+
+// Per-workstation announcer: keeps migd informed through the pdev.
+class MigdAnnouncer {
+ public:
+  MigdAnnouncer(kern::Host& host, LoadShareNode& node, std::string pdev_path);
+  // Starts periodic announcements; call announce_now() on state changes
+  // (wired to user-return by the Facility).
+  void start();
+  void announce_now();
+
+ private:
+  void ensure_open(std::function<void()> then);
+
+  kern::Host& host_;
+  LoadShareNode& node_;
+  std::string path_;
+  fs::StreamPtr stream_;
+  bool opening_ = false;
+};
+
+// Client selector speaking to migd.
+class CentralSelector : public HostSelector {
+ public:
+  CentralSelector(kern::Host& host, std::string pdev_path,
+                  std::function<bool(sim::HostId)> ground_truth_idle);
+
+  void request_hosts(int n, GrantCb cb) override;
+  void release_host(sim::HostId h) override;
+
+  // Hosts migd reclaimed from us for fairness; the caller (e.g. pmake) must
+  // stop dispatching to them. Clears the pending list.
+  std::vector<sim::HostId> take_revoked() override {
+    auto out = std::move(revoked_);
+    revoked_.clear();
+    return out;
+  }
+
+ private:
+  void ensure_open(std::function<void(util::Status)> then);
+
+  kern::Host& host_;
+  std::string path_;
+  fs::StreamPtr stream_;
+  std::function<bool(sim::HostId)> ground_truth_;
+  std::vector<sim::HostId> revoked_;
+};
+
+}  // namespace sprite::ls

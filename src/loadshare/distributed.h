@@ -1,0 +1,71 @@
+// Distributed host-selection architectures (thesis §6.3.3–6.3.4).
+//
+// ProbabilisticSelector — MOSIX-style: every host maintains a load vector
+// fed by periodic gossip to random peers, aged so newer data dominates.
+// Selection is a purely local decision followed by a reservation RPC to the
+// chosen host; stale vectors show up as refused reservations ("bad grants"),
+// the cost of distributed state.
+//
+// MulticastSelector — stateless: the requester multicasts "who is idle?",
+// idle hosts answer after a random backoff, and the requester reserves the
+// first respondents. One cheap transmission per request, but every host pays
+// to receive it, and there is no global assignment state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "loadshare/node.h"
+#include "loadshare/selector.h"
+#include "loadshare/wire.h"
+
+namespace sprite::kern {
+class Host;
+}
+
+namespace sprite::ls {
+
+class ProbabilisticSelector : public HostSelector {
+ public:
+  ProbabilisticSelector(kern::Host& host, LoadShareNode& node,
+                        std::function<bool(sim::HostId)> ground_truth_idle);
+
+  void request_hosts(int n, GrantCb cb) override;
+  void release_host(sim::HostId h) override;
+
+ private:
+  void try_reserve(std::shared_ptr<std::vector<sim::HostId>> cands,
+                   std::size_t i, int want,
+                   std::shared_ptr<std::vector<sim::HostId>> got,
+                   sim::Time start, GrantCb cb);
+
+  kern::Host& host_;
+  LoadShareNode& node_;
+  std::function<bool(sim::HostId)> ground_truth_;
+};
+
+class MulticastSelector : public HostSelector {
+ public:
+  MulticastSelector(kern::Host& host, LoadShareNode& node,
+                    std::function<bool(sim::HostId)> ground_truth_idle);
+
+  void request_hosts(int n, GrantCb cb) override;
+  void release_host(sim::HostId h) override;
+
+ private:
+  void reserve_offers(std::shared_ptr<std::vector<sim::HostId>> offers,
+                      std::size_t i, int want,
+                      std::shared_ptr<std::vector<sim::HostId>> got,
+                      sim::Time start, GrantCb cb);
+
+  kern::Host& host_;
+  LoadShareNode& node_;
+  std::function<bool(sim::HostId)> ground_truth_;
+  std::int64_t next_seq_ = 1;
+  // Offers collected for the in-flight query (one at a time per selector).
+  std::int64_t current_seq_ = 0;
+  std::vector<sim::HostId> offers_;
+};
+
+}  // namespace sprite::ls

@@ -1,0 +1,125 @@
+#include "loadshare/facility.h"
+
+#include "kern/cluster.h"
+#include "util/assert.h"
+
+namespace sprite::ls {
+
+using sim::HostId;
+
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::kCentral: return "central-migd";
+    case Arch::kSharedFile: return "shared-file";
+    case Arch::kProbabilistic: return "probabilistic";
+    case Arch::kMulticast: return "multicast";
+  }
+  return "?";
+}
+
+namespace {
+constexpr const char* kMigdPath = "/hosts/migd";
+constexpr const char* kLoadFilePath = "/hosts/loadfile";
+constexpr const char* kClaimFilePath = "/hosts/claims";
+}  // namespace
+
+Facility::Facility(kern::Cluster& cluster, Arch arch)
+    : cluster_(cluster), arch_(arch) {
+  const auto workstations = cluster_.workstations();
+  auto ground_truth = [this](HostId h) { return actually_idle(h); };
+
+  for (HostId w : workstations) {
+    auto n = std::make_unique<LoadShareNode>(cluster_.host(w));
+    n->register_services();
+    nodes_.emplace(w, std::move(n));
+  }
+
+  switch (arch_) {
+    case Arch::kCentral: {
+      // The daemon runs on file server 0 (a host that is always up).
+      daemon_ = std::make_unique<MigdDaemon>(cluster_.file_server());
+      SPRITE_CHECK(daemon_->install(kMigdPath).is_ok());
+      for (HostId w : workstations) {
+        auto ann = std::make_unique<MigdAnnouncer>(cluster_.host(w),
+                                                   *nodes_.at(w), kMigdPath);
+        ann->start();
+        MigdAnnouncer* ann_raw = ann.get();
+        nodes_.at(w)->enable_autoeviction(
+            [ann_raw] { ann_raw->announce_now(); });
+        announcers_.push_back(std::move(ann));
+        selectors_.emplace(
+            w, std::make_unique<CentralSelector>(cluster_.host(w), kMigdPath,
+                                                 ground_truth));
+      }
+      break;
+    }
+    case Arch::kSharedFile: {
+      cluster_.file_server().fs_server()->mkdir_p("/hosts");
+      for (HostId w : workstations) {
+        auto upd = std::make_unique<LoadFileUpdater>(
+            cluster_.host(w), *nodes_.at(w), kLoadFilePath);
+        upd->start();
+        LoadFileUpdater* upd_raw = upd.get();
+        nodes_.at(w)->enable_autoeviction([upd_raw] { upd_raw->update_now(); });
+        updaters_.push_back(std::move(upd));
+        selectors_.emplace(
+            w, std::make_unique<SharedFileSelector>(
+                   cluster_.host(w), kLoadFilePath, kClaimFilePath,
+                   static_cast<int>(cluster_.num_hosts()), ground_truth));
+      }
+      break;
+    }
+    case Arch::kProbabilistic: {
+      for (HostId w : workstations) {
+        nodes_.at(w)->start_gossip(workstations);
+        nodes_.at(w)->enable_autoeviction();
+        selectors_.emplace(w, std::make_unique<ProbabilisticSelector>(
+                                  cluster_.host(w), *nodes_.at(w),
+                                  ground_truth));
+      }
+      break;
+    }
+    case Arch::kMulticast: {
+      for (HostId w : workstations) {
+        nodes_.at(w)->enable_multicast_responder();
+        nodes_.at(w)->enable_autoeviction();
+        selectors_.emplace(
+            w, std::make_unique<MulticastSelector>(cluster_.host(w),
+                                                   *nodes_.at(w),
+                                                   ground_truth));
+      }
+      break;
+    }
+  }
+}
+
+LoadShareNode& Facility::node(HostId h) { return *nodes_.at(h); }
+
+HostSelector& Facility::selector(HostId h) { return *selectors_.at(h); }
+
+bool Facility::actually_idle(HostId h) {
+  auto it = nodes_.find(h);
+  return it != nodes_.end() && it->second->is_idle();
+}
+
+int Facility::idle_count() {
+  int n = 0;
+  for (auto& [h, node] : nodes_) {
+    if (node->is_idle() && !node->reserved()) ++n;
+  }
+  return n;
+}
+
+HostSelector::Stats Facility::aggregate_stats() const {
+  HostSelector::Stats agg;
+  for (const auto& [h, sel] : selectors_) {
+    const auto& s = sel->stats();
+    agg.requests += s.requests;
+    agg.hosts_granted += s.hosts_granted;
+    agg.empty_grants += s.empty_grants;
+    agg.bad_grants += s.bad_grants;
+  }
+  return agg;
+}
+
+}  // namespace sprite::ls

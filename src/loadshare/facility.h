@@ -1,0 +1,62 @@
+// Facility: assembles one host-selection architecture over a Cluster.
+//
+// Creates a LoadShareNode per workstation, wires owner-return eviction, and
+// instantiates the chosen architecture's moving parts (migd daemon +
+// announcers, load-file updaters, gossip, or multicast responders) plus a
+// per-workstation HostSelector for requesters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "loadshare/central.h"
+#include "loadshare/distributed.h"
+#include "loadshare/node.h"
+#include "loadshare/selector.h"
+#include "loadshare/shared_file.h"
+
+namespace sprite::kern {
+class Cluster;
+}
+
+namespace sprite::ls {
+
+enum class Arch : int {
+  kCentral = 0,
+  kSharedFile,
+  kProbabilistic,
+  kMulticast,
+};
+const char* arch_name(Arch a);
+
+class Facility {
+ public:
+  Facility(kern::Cluster& cluster, Arch arch);
+
+  Arch arch() const { return arch_; }
+
+  LoadShareNode& node(sim::HostId h);
+  HostSelector& selector(sim::HostId h);
+  MigdDaemon* daemon() { return daemon_.get(); }
+
+  // Ground truth for stats: is the host actually available right now?
+  bool actually_idle(sim::HostId h);
+
+  // Number of workstations currently idle (ground truth).
+  int idle_count();
+
+  // Aggregated selector stats across all workstations.
+  HostSelector::Stats aggregate_stats() const;
+
+ private:
+  kern::Cluster& cluster_;
+  Arch arch_;
+  std::map<sim::HostId, std::unique_ptr<LoadShareNode>> nodes_;
+  std::map<sim::HostId, std::unique_ptr<HostSelector>> selectors_;
+  std::unique_ptr<MigdDaemon> daemon_;
+  std::vector<std::unique_ptr<MigdAnnouncer>> announcers_;
+  std::vector<std::unique_ptr<LoadFileUpdater>> updaters_;
+};
+
+}  // namespace sprite::ls

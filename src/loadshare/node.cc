@@ -1,0 +1,192 @@
+#include "loadshare/node.h"
+
+#include "kern/cluster.h"
+#include "migration/manager.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::ls {
+
+using rpc::Reply;
+using rpc::Request;
+using rpc::ServiceId;
+using sim::HostId;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+LoadShareNode::LoadShareNode(kern::Host& host)
+    : host_(host), rng_(host.cluster().sim().fork_rng()) {}
+
+sim::HostId LoadShareNode::id() const { return host_.id(); }
+
+void LoadShareNode::register_services() {
+  host_.rpc().register_service(
+      ServiceId::kLoadShare,
+      [this](HostId src, const Request& req, std::function<void(Reply)> r) {
+        handle_rpc(src, req, std::move(r));
+      });
+}
+
+double LoadShareNode::load() const { return host_.cpu().load_average(); }
+
+bool LoadShareNode::is_idle() const {
+  const auto& costs = host_.cluster().costs();
+  const Time now = host_.cluster().sim().now();
+  const Time since_input = now - host_.last_user_input();
+  return since_input >= costs.idle_input_threshold &&
+         host_.cpu().load_average() < costs.idle_load_threshold;
+}
+
+util::Status LoadShareNode::try_reserve(HostId requester) {
+  if (reserved()) {
+    ++stats_.reserves_refused;
+    return Status(Err::kBusy, "already reserved");
+  }
+  if (!is_idle()) {
+    ++stats_.reserves_refused;
+    return Status(Err::kBusy, "not idle");
+  }
+  reserved_by_ = requester;
+  // Anticipated load: report ourselves busier before the migrated work
+  // arrives, so other selectors do not flood this host (MOSIX-style).
+  host_.cpu().set_load_bias(host_.cpu().load_bias() + 1.0);
+  ++stats_.reserves_granted;
+  return Status::ok();
+}
+
+void LoadShareNode::release(HostId requester) {
+  if (reserved_by_ != requester) return;
+  reserved_by_ = sim::kInvalidHost;
+  host_.cpu().set_load_bias(
+      std::max(0.0, host_.cpu().load_bias() - 1.0));
+}
+
+void LoadShareNode::enable_autoeviction(std::function<void()> on_user_return) {
+  on_user_return_ = std::move(on_user_return);
+  host_.set_input_observer([this] {
+    if (on_user_return_) on_user_return_();
+    if (evicting_) return;
+    if (host_.procs().foreign_processes().empty()) return;
+    evicting_ = true;
+    ++stats_.evictions_triggered;
+    host_.mig().evict_all_foreign([this](int) { evicting_ = false; });
+  });
+}
+
+HostLoad LoadShareNode::own_entry() const {
+  HostLoad e;
+  e.host = host_.id();
+  e.load = load();
+  e.idle = is_idle() && !reserved();
+  e.stamped = host_.cluster().sim().now();
+  return e;
+}
+
+void LoadShareNode::start_gossip(std::vector<HostId> peers) {
+  gossip_peers_ = std::move(peers);
+  const auto& costs = host_.cluster().costs();
+  host_.cluster().sim().every(costs.ls_gossip_period,
+                              [this] { gossip_tick(); });
+}
+
+void LoadShareNode::gossip_tick() {
+  const auto& costs = host_.cluster().costs();
+  const Time now = host_.cluster().sim().now();
+
+  // Refresh our own entry and age out stale ones.
+  vector_[host_.id()] = own_entry();
+  for (auto it = vector_.begin(); it != vector_.end();) {
+    if (now - it->second.stamped > costs.ls_entry_max_age &&
+        it->first != host_.id()) {
+      it = vector_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (gossip_peers_.empty()) return;
+  // Send our vector (own entry plus a few cached ones) to random peers.
+  for (int k = 0; k < costs.ls_gossip_fanout; ++k) {
+    const HostId peer =
+        gossip_peers_[rng_.index(gossip_peers_.size())];
+    if (peer == host_.id()) continue;
+    auto body = std::make_shared<GossipReq>();
+    for (const auto& [h, e] : vector_) {
+      body->entries.push_back(e);
+      if (body->entries.size() >= 8) break;
+    }
+    ++stats_.gossip_sent;
+    host_.rpc().call(peer, ServiceId::kLoadShare,
+                     static_cast<int>(LsOp::kGossip), body,
+                     [](util::Result<Reply>) {});
+  }
+}
+
+void LoadShareNode::enable_multicast_responder() { responder_enabled_ = true; }
+
+void LoadShareNode::handle_rpc(HostId /*src*/, const Request& req,
+                               std::function<void(Reply)> respond) {
+  switch (static_cast<LsOp>(req.op)) {
+    case LsOp::kGossip: {
+      auto body = rpc::body_cast<GossipReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      for (const auto& e : body->entries) {
+        if (e.host == host_.id()) continue;
+        auto it = vector_.find(e.host);
+        if (it == vector_.end() || it->second.stamped < e.stamped)
+          vector_[e.host] = e;
+      }
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+    case LsOp::kReserve: {
+      auto body = rpc::body_cast<ReserveReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      respond(Reply{try_reserve(body->requester), nullptr});
+      return;
+    }
+    case LsOp::kRelease: {
+      auto body = rpc::body_cast<ReserveReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      release(body->requester);
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+    case LsOp::kQueryIdle: {
+      auto body = rpc::body_cast<QueryIdleReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      respond(Reply{Status::ok(), nullptr});
+      if (!responder_enabled_ || !is_idle() || reserved()) return;
+      // Respond after a random backoff so the requester is not flooded by
+      // simultaneous replies from every idle host.
+      const auto& costs = host_.cluster().costs();
+      const Time delay = Time::usec(static_cast<std::int64_t>(
+          rng_.uniform(0.0, static_cast<double>(
+                                costs.ls_multicast_backoff.us()))));
+      host_.cluster().sim().after(
+          delay, [this, requester = body->requester, seq = body->seq] {
+            if (!is_idle() || reserved()) return;  // state changed meanwhile
+            auto offer = std::make_shared<OfferReq>();
+            offer->host = host_.id();
+            offer->seq = seq;
+            offer->load = load();
+            ++stats_.offers_sent;
+            host_.rpc().call(requester, ServiceId::kLoadShare,
+                             static_cast<int>(LsOp::kOffer), offer,
+                             [](util::Result<Reply>) {});
+          });
+      return;
+    }
+    case LsOp::kOffer: {
+      auto body = rpc::body_cast<OfferReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      if (offer_sink_) offer_sink_(*body);
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+  }
+  respond(Reply{Status(Err::kNotSupported, "bad loadshare op"), nullptr});
+}
+
+}  // namespace sprite::ls

@@ -1,0 +1,54 @@
+// HostSelector: the client-side interface to a host-selection architecture.
+//
+// Four implementations reproduce the design space of thesis chapter 6:
+// central server (migd), shared file, distributed probabilistic (MOSIX) and
+// multicast query. All expose the same request/release API so experiment E6
+// can compare them under identical request loads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace sprite::ls {
+
+class HostSelector {
+ public:
+  using GrantCb = std::function<void(std::vector<sim::HostId>)>;
+
+  virtual ~HostSelector() = default;
+
+  // Asks for up to `n` idle hosts. The callback fires exactly once with the
+  // granted hosts (possibly empty — callers poll again later; none of the
+  // architectures block, because a blocked reply cannot ride an RPC).
+  virtual void request_hosts(int n, GrantCb cb) = 0;
+
+  // Returns a granted host.
+  virtual void release_host(sim::HostId h) = 0;
+
+  // Hosts the facility reclaimed from this requester for fairness
+  // (cooperative recall). The caller must stop dispatching to them; they do
+  // NOT need to be released. Default: none (only the central architecture
+  // recalls).
+  virtual std::vector<sim::HostId> take_revoked() { return {}; }
+
+  struct Stats {
+    std::int64_t requests = 0;
+    std::int64_t hosts_granted = 0;
+    std::int64_t empty_grants = 0;
+    // A granted host that was in fact not idle (stale information) — the
+    // failure mode distributed state suffers from.
+    std::int64_t bad_grants = 0;
+    util::Distribution grant_latency_ms;
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
+};
+
+}  // namespace sprite::ls

@@ -1,0 +1,55 @@
+// RPC wire messages for the kLoadShare service (host-to-host protocols used
+// by the distributed selection architectures and by reservation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "sim/ids.h"
+#include "sim/time.h"
+
+namespace sprite::ls {
+
+enum class LsOp : int {
+  kGossip = 1,   // MOSIX-style load vector exchange
+  kReserve,      // claim an idle host (refused if busy/reserved)
+  kRelease,      // give a reserved host back
+  kQueryIdle,    // multicast: who is idle?
+  kOffer,        // unicast answer to a query
+};
+
+// One host's load information as known by some host.
+struct HostLoad {
+  sim::HostId host = sim::kInvalidHost;
+  double load = 0.0;
+  bool idle = false;
+  sim::Time stamped;  // simulated time the info was produced
+};
+
+struct GossipReq : rpc::Message {
+  std::vector<HostLoad> entries;
+  std::int64_t wire_bytes() const override {
+    return 16 + static_cast<std::int64_t>(entries.size()) * 24;
+  }
+};
+
+struct ReserveReq : rpc::Message {
+  sim::HostId requester = sim::kInvalidHost;
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+struct QueryIdleReq : rpc::Message {
+  sim::HostId requester = sim::kInvalidHost;
+  std::int64_t seq = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct OfferReq : rpc::Message {
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t seq = 0;
+  double load = 0.0;
+  std::int64_t wire_bytes() const override { return 32; }
+};
+
+}  // namespace sprite::ls

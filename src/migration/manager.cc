@@ -1,0 +1,675 @@
+#include "migration/manager.h"
+
+#include <algorithm>
+
+#include "kern/cluster.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::mig {
+
+using proc::Pcb;
+using proc::PcbPtr;
+using proc::Pid;
+using rpc::Reply;
+using rpc::Request;
+using rpc::ServiceId;
+using sim::HostId;
+using sim::JobClass;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+const char* strategy_name(VmStrategy s) {
+  switch (s) {
+    case VmStrategy::kSpriteFlush: return "sprite-flush";
+    case VmStrategy::kWholeCopy: return "whole-copy";
+    case VmStrategy::kPreCopy: return "pre-copy";
+    case VmStrategy::kCopyOnRef: return "copy-on-reference";
+  }
+  return "?";
+}
+
+MigrationManager::MigrationManager(kern::Host& host)
+    : host_(host), self_(host.id()) {}
+
+void MigrationManager::register_services() {
+  host_.rpc().register_service(
+      ServiceId::kMigration,
+      [this](HostId src, const Request& req, std::function<void(Reply)> r) {
+        handle_rpc(src, req, std::move(r));
+      });
+}
+
+const MigrationRecord& MigrationManager::last_record() const {
+  SPRITE_CHECK_MSG(!records_.empty(), "no migrations recorded");
+  return records_.back();
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing
+// ---------------------------------------------------------------------------
+
+void MigrationManager::migrate(const PcbPtr& pcb, HostId target,
+                               std::function<void(Status)> cb) {
+  if (target == self_ || target == sim::kInvalidHost)
+    return cb(Status(Err::kInval, "bad migration target"));
+  if (pcb->space && pcb->space->shared_writable)
+    return cb(Status(Err::kNotMigratable, "shared writable memory"));
+  for (const auto& [t, og] : outgoing_) {
+    if (og.pcb->pid == pcb->pid)
+      return cb(Status(Err::kBusy, "migration already in progress"));
+  }
+
+  const std::uint64_t token = next_token_++;
+  Outgoing og;
+  og.pcb = pcb;
+  og.target = target;
+  og.cb = std::move(cb);
+  og.resume_handled_by_caller =
+      pcb->migrate_syscall_pending || pcb->program == nullptr;
+  og.rec.pid = pcb->pid;
+  og.rec.from = self_;
+  og.rec.to = target;
+  og.rec.strategy = strategy_;
+  og.rec.exec_time = pcb->program == nullptr;
+  og.rec.started = host_.cluster().sim().now();
+  og.rec.frozen_at = og.rec.started;
+  outgoing_.emplace(token, std::move(og));
+
+  auto body = std::make_shared<InitReq>();
+  body->version = version_;
+  body->pid = pcb->pid;
+  host_.rpc().call(target, ServiceId::kMigration,
+                   static_cast<int>(MigOp::kInit), body,
+                   [this, token](util::Result<Reply> r) {
+                     auto it = outgoing_.find(token);
+                     if (it == outgoing_.end()) return;
+                     if (!r.is_ok())
+                       return fail(token, r.status());
+                     if (!r->status.is_ok())
+                       return fail(token, r->status);
+                     auto rep = rpc::body_cast<InitRep>(r->body);
+                     SPRITE_CHECK(rep != nullptr);
+                     if (!rep->accepted)
+                       return fail(token,
+                                   Status(Err::kVersionSkew,
+                                          "kernel migration versions differ"));
+                     it->second.rec.init_done_at =
+                         host_.cluster().sim().now();
+                     after_init(token);
+                   });
+}
+
+namespace {
+
+// A migration in progress can race the process's own exit (it keeps running
+// until frozen). Every pipeline stage revalidates before touching state.
+bool still_alive(const PcbPtr& pcb) {
+  return pcb->state != proc::ProcState::kZombie &&
+         pcb->state != proc::ProcState::kDead;
+}
+
+}  // namespace
+
+void MigrationManager::after_init(std::uint64_t token) {
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  Outgoing& og = it->second;
+  if (!still_alive(og.pcb) || !host_.procs().find(og.pcb->pid))
+    return fail(token, Status(Err::kSrch, "process exited before transfer"));
+
+  // Pre-copy runs rounds while the process continues executing; everything
+  // else freezes first.
+  if (strategy_ == VmStrategy::kPreCopy && og.pcb->space &&
+      og.pcb->program != nullptr) {
+    precopy_round(token, 0, INT64_MAX);
+    return;
+  }
+  host_.procs().freeze(og.pcb, [this, token] {
+    auto it = outgoing_.find(token);
+    if (it == outgoing_.end()) return;
+    it->second.rec.frozen_at = host_.cluster().sim().now();
+    do_vm_transfer(token);
+  });
+}
+
+void MigrationManager::precopy_round(std::uint64_t token, int round,
+                                     std::int64_t prev_dirty) {
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  Outgoing& og = it->second;
+  // The process keeps executing during the rounds; it may exit under us.
+  if (!still_alive(og.pcb) || !og.pcb->space ||
+      !host_.procs().find(og.pcb->pid))
+    return fail(token, Status(Err::kSrch, "process exited during pre-copy"));
+  vm::SpacePtr space = og.pcb->space;
+
+  const std::int64_t pages =
+      round == 0 ? space->resident_pages() : space->dirty_pages();
+
+  // Converged (or stopped converging): freeze and send the final dirty set.
+  const bool stop = round > 0 && (pages <= 32 || round >= 4 ||
+                                  pages >= prev_dirty);
+  if (stop) {
+    host_.procs().freeze(og.pcb, [this, token] {
+      auto it = outgoing_.find(token);
+      if (it == outgoing_.end()) return;
+      Outgoing& og = it->second;
+      if (!still_alive(og.pcb) || !og.pcb->space)
+        return fail(token,
+                    Status(Err::kSrch, "process exited during pre-copy"));
+      og.rec.frozen_at = host_.cluster().sim().now();
+      vm::SpacePtr space = og.pcb->space;
+      std::int64_t final_pages = space->dirty_pages();
+      for (auto seg : vm::kAllSegments) {
+        auto& st = space->segment(seg);
+        st.dirty.assign(st.dirty.size(), false);
+      }
+      og.rec.pages_moved += final_pages;
+      send_pages(token, final_pages, [this, token] {
+        do_vm_transfer(token);
+      });
+    });
+    return;
+  }
+
+  // Copy this round's pages while the process keeps running; it will
+  // re-dirty some of them and the next round picks those up.
+  for (auto seg : vm::kAllSegments) {
+    auto& st = space->segment(seg);
+    st.dirty.assign(st.dirty.size(), false);
+  }
+  og.rec.pages_moved += pages;
+  ++og.rec.precopy_rounds;
+  send_pages(token, pages, [this, token, round, pages] {
+    precopy_round(token, round + 1, pages == 0 ? 1 : pages);
+  });
+}
+
+void MigrationManager::send_pages(std::uint64_t token, std::int64_t pages,
+                                  std::function<void()> done) {
+  if (pages <= 0) {
+    host_.cluster().sim().after(Time::zero(), std::move(done));
+    return;
+  }
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  const std::int64_t chunk = std::min<std::int64_t>(pages, 16);  // 64 KB
+  auto body = std::make_shared<PageDataReq>();
+  body->pid = it->second.pcb->pid;
+  body->bytes = chunk * host_.cluster().costs().page_size;
+  host_.rpc().call(
+      it->second.target, ServiceId::kMigration,
+      static_cast<int>(MigOp::kPageData), body,
+      [this, token, pages, chunk, done = std::move(done)](
+          util::Result<Reply> r) mutable {
+        auto it = outgoing_.find(token);
+        if (it == outgoing_.end()) return;
+        if (!r.is_ok() || !r->status.is_ok())
+          return fail(token, r.is_ok() ? r->status : r.status());
+        send_pages(token, pages - chunk, std::move(done));
+      });
+}
+
+void MigrationManager::do_vm_transfer(std::uint64_t token) {
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  Outgoing& og = it->second;
+  PcbPtr pcb = og.pcb;
+
+  auto body = std::make_shared<TransferReq>();
+  body->pcb_bytes = host_.cluster().costs().mig_pcb_bytes;
+
+  auto proceed_to_streams = [this, token, body] {
+    auto it = outgoing_.find(token);
+    if (it == outgoing_.end()) return;
+    it->second.rec.vm_done_at = host_.cluster().sim().now();
+    PcbPtr pcb = it->second.pcb;
+    // Remote-UNIX comparator: park the descriptor table at home instead of
+    // exporting the streams; the process's file calls will be forwarded.
+    if (file_call_mode_ == FileCallMode::kForwardHome) {
+      if (pcb->home == self_ && !pcb->forward_file_calls &&
+          !pcb->fds.empty()) {
+        host_.procs().park_streams_at_home(pcb);
+        pcb->forward_file_calls = true;
+      }
+      if (pcb->home != self_) pcb->forward_file_calls = true;
+    }
+    std::vector<std::pair<int, fs::StreamPtr>> fds(pcb->fds.begin(),
+                                                   pcb->fds.end());
+    transfer_streams(token, std::move(fds), 0, body.get(),
+                     [this, token, body] { send_transfer(token, body); });
+  };
+
+  if (!pcb->space) {
+    // Exec-time migration: nothing to move.
+    body->has_space = false;
+    proceed_to_streams();
+    return;
+  }
+
+  vm::SpacePtr space = pcb->space;
+  switch (strategy_) {
+    case VmStrategy::kSpriteFlush: {
+      og.rec.pages_flushed = space->dirty_pages();
+      host_.vm().flush_dirty(space, [this, token, body, space,
+                                     proceed_to_streams](Status s) {
+        if (!s.is_ok()) return fail(token, s);
+        auto it = outgoing_.find(token);
+        if (it == outgoing_.end()) return;
+        // Nothing is shipped: the target demand-pages from the server.
+        host_.vm().invalidate(space);
+        body->has_space = true;
+        body->space = host_.vm().describe(space);
+        host_.vm().release_space(space, [proceed_to_streams](Status) {
+          proceed_to_streams();
+        });
+      });
+      return;
+    }
+    case VmStrategy::kWholeCopy: {
+      const std::int64_t pages = space->resident_pages();
+      og.rec.pages_moved = pages;
+      send_pages(token, pages, [this, token, body, space,
+                                proceed_to_streams] {
+        auto it = outgoing_.find(token);
+        if (it == outgoing_.end()) return;
+        // Pages crossed the wire; the target's copy is resident and clean.
+        for (auto seg : vm::kAllSegments) {
+          auto& st = space->segment(seg);
+          st.dirty.assign(st.dirty.size(), false);
+        }
+        body->has_space = true;
+        body->space = host_.vm().describe(space);
+        host_.vm().release_space(space, [proceed_to_streams](Status) {
+          proceed_to_streams();
+        });
+      });
+      return;
+    }
+    case VmStrategy::kPreCopy: {
+      // Rounds already ran (after_init); dirty flags were cleared as the
+      // final set was sent. The target's image is resident and clean.
+      body->has_space = true;
+      body->space = host_.vm().describe(space);
+      host_.vm().release_space(space, [proceed_to_streams](Status) {
+        proceed_to_streams();
+      });
+      return;
+    }
+    case VmStrategy::kCopyOnRef: {
+      // Ship only page tables; previously-resident pages become remote on
+      // the target and we keep the image to serve pulls (residual
+      // dependency).
+      body->has_space = true;
+      body->cor_source_resident = true;
+      vm::SpaceDescriptor desc = host_.vm().describe(space);
+      for (auto& seg : desc.segments) {
+        seg.in_remote = seg.resident;
+        seg.resident.assign(seg.resident.size(), false);
+        seg.dirty.assign(seg.dirty.size(), false);
+      }
+      body->space = std::move(desc);
+      residual_[space->asid()] = space;
+      proceed_to_streams();
+      return;
+    }
+  }
+  SPRITE_UNREACHABLE("unknown strategy");
+}
+
+void MigrationManager::transfer_streams(
+    std::uint64_t token, std::vector<std::pair<int, fs::StreamPtr>> fds,
+    std::size_t i, TransferReq* out, std::function<void()> done) {
+  if (i >= fds.size()) {
+    auto it = outgoing_.find(token);
+    if (it != outgoing_.end()) {
+      it->second.rec.streams_moved = static_cast<std::int64_t>(fds.size());
+      it->second.rec.streams_done_at = host_.cluster().sim().now();
+    }
+    done();
+    return;
+  }
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  const auto [fd, stream] = fds[i];
+  const bool shared = stream->local_refs > 1;
+  const HostId target = it->second.target;
+  // Deencapsulating and reencapsulating a stream costs kernel CPU on top of
+  // the I/O-server RPC (the per-file component of experiment E1).
+  host_.cpu().submit(
+      sim::JobClass::kKernel, host_.cluster().costs().mig_stream_cpu,
+      [this, token, fds = std::move(fds), i, fd = fd, stream, shared, target,
+       out, done = std::move(done)]() mutable {
+        if (outgoing_.find(token) == outgoing_.end()) return;
+        host_.fs().export_stream(
+            stream, target, shared,
+            [this, token, fds = std::move(fds), i, fd = fd, stream, shared,
+             out,
+             done = std::move(done)](util::Result<fs::ExportedStream> r) mutable {
+              if (!r.is_ok()) return fail(token, r.status());
+              if (shared) --stream->local_refs;
+              out->streams.emplace_back(fd, std::move(*r));
+              transfer_streams(token, std::move(fds), i + 1, out,
+                               std::move(done));
+            });
+      });
+}
+
+void MigrationManager::send_transfer(std::uint64_t token,
+                                     std::shared_ptr<TransferReq> body) {
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  Outgoing& og = it->second;
+  PcbPtr pcb = og.pcb;
+
+  body->pid = pcb->pid;
+  body->ppid = pcb->ppid;
+  body->home = pcb->home;
+  body->exe_path = pcb->exe_path;
+  body->args = pcb->args;
+  body->view = pcb->view;
+  body->spawned_at = pcb->spawned_at;
+  body->remaining_compute = pcb->remaining_compute;
+  body->pause_remaining = pcb->pause_remaining;
+  body->blocked_in_wait = pcb->blocked_in_wait;
+  body->kill_pending = pcb->kill_pending;
+  body->kill_sig = pcb->kill_sig;
+  body->next_fd = pcb->next_fd;
+  body->forward_file_calls = pcb->forward_file_calls;
+  if (pcb->program != nullptr) {
+    auto box = std::make_shared<ProgramBox>();
+    box->program = std::move(pcb->program);
+    body->box = std::move(box);
+  }
+
+  // Encapsulation consumes source CPU, then the state crosses the wire.
+  host_.cpu().submit(
+      JobClass::kKernel, host_.cluster().costs().mig_encapsulate_cpu,
+      [this, token, body] {
+        auto it = outgoing_.find(token);
+        if (it == outgoing_.end()) return;
+        host_.rpc().call(
+            it->second.target, ServiceId::kMigration,
+            static_cast<int>(MigOp::kTransfer), body,
+            [this, token, body](util::Result<Reply> r) {
+              auto it = outgoing_.find(token);
+              if (it == outgoing_.end()) return;
+              if (!r.is_ok() || !r->status.is_ok()) {
+                // Reclaim the program image before thawing locally.
+                if (body->box && body->box->program)
+                  it->second.pcb->program = std::move(body->box->program);
+                return fail(token,
+                            r.is_ok() ? r->status : r.status());
+              }
+              Outgoing og = std::move(it->second);
+              outgoing_.erase(it);
+              og.rec.resumed_at = host_.cluster().sim().now();
+              host_.procs().remove(og.pcb->pid);
+              ++stats_.out;
+              records_.push_back(og.rec);
+              og.cb(Status::ok());
+            });
+      });
+}
+
+void MigrationManager::fail(std::uint64_t token, Status why) {
+  auto it = outgoing_.find(token);
+  if (it == outgoing_.end()) return;
+  Outgoing og = std::move(it->second);
+  outgoing_.erase(it);
+  ++stats_.failed;
+
+  // Tell the target to drop any pending slot.
+  auto abort = std::make_shared<AbortReq>();
+  abort->pid = og.pcb->pid;
+  host_.rpc().call(og.target, ServiceId::kMigration,
+                   static_cast<int>(MigOp::kAbort), abort,
+                   [](util::Result<Reply>) {});
+
+  PcbPtr pcb = og.pcb;
+  const bool was_frozen = pcb->state == proc::ProcState::kFrozen;
+  auto finish = [this, pcb, was_frozen,
+                 caller_resumes = og.resume_handled_by_caller,
+                 cb = std::move(og.cb), why] {
+    if (was_frozen) {
+      if (caller_resumes) {
+        // The kernel-call layer completes the interrupted call.
+        pcb->state = proc::ProcState::kRunnable;
+      } else {
+        host_.procs().install_and_resume(pcb);
+      }
+    }
+    // If it was never frozen it simply kept running.
+    cb(why);
+  };
+
+  // Restore the address space if the strategy already detached it.
+  if (pcb->space) {
+    auto rit = residual_.find(pcb->space->asid());
+    if (rit != residual_.end()) residual_.erase(rit);
+    if (!pcb->space->segment(vm::Segment::kCode).backing &&
+        pcb->space->segment(vm::Segment::kCode).pages > 0) {
+      // Streams were released; re-adopt our own descriptor.
+      vm::SpaceDescriptor desc = host_.vm().describe(pcb->space);
+      host_.vm().adopt_space(desc,
+                             [pcb, finish](util::Result<vm::SpacePtr> r) {
+                               if (r.is_ok()) pcb->space = *r;
+                               finish();
+                             });
+      return;
+    }
+  }
+  finish();
+}
+
+void MigrationManager::evict_all_foreign(std::function<void(int)> cb) {
+  auto foreign = host_.procs().foreign_processes();
+  if (foreign.empty()) {
+    host_.cluster().sim().after(Time::zero(),
+                                [cb = std::move(cb)] { cb(0); });
+    return;
+  }
+  struct Progress {
+    int pending = 0;
+    int evicted = 0;
+  };
+  auto prog = std::make_shared<Progress>();
+  prog->pending = static_cast<int>(foreign.size());
+  auto shared_cb = std::make_shared<std::function<void(int)>>(std::move(cb));
+  for (const auto& pcb : foreign) {
+    migrate(pcb, pcb->home, [this, prog, shared_cb](Status s) {
+      // On failure the process was thawed and resumed in place (fail());
+      // the owner keeps suffering but the process survives.
+      if (s.is_ok()) {
+        ++prog->evicted;
+        ++stats_.evictions;
+      }
+      if (--prog->pending == 0) (*shared_cb)(prog->evicted);
+    });
+  }
+}
+
+void MigrationManager::fetch_remote_chunks(HostId source, std::int64_t asid,
+                                           vm::Segment seg,
+                                           std::int64_t first,
+                                           std::int64_t count,
+                                           vm::VmManager::StatusCb cb) {
+  if (count <= 0) return cb(Status::ok());
+  const std::int64_t chunk = std::min<std::int64_t>(count, 16);
+  auto body = std::make_shared<FetchPagesReq>();
+  body->asid = asid;
+  body->seg = seg;
+  body->first = first;
+  body->count = chunk;
+  host_.rpc().call(
+      source, ServiceId::kMigration, static_cast<int>(MigOp::kFetchPages),
+      body,
+      [this, source, asid, seg, first, count, chunk,
+       cb = std::move(cb)](util::Result<Reply> r) mutable {
+        if (!r.is_ok()) return cb(r.status());
+        if (!r->status.is_ok()) return cb(r->status);
+        fetch_remote_chunks(source, asid, seg, first + chunk, count - chunk,
+                            std::move(cb));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Incoming
+// ---------------------------------------------------------------------------
+
+void MigrationManager::handle_rpc(HostId src, const Request& req,
+                                  std::function<void(Reply)> respond) {
+  switch (static_cast<MigOp>(req.op)) {
+    case MigOp::kInit: {
+      auto body = rpc::body_cast<InitReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      auto rep = std::make_shared<InitRep>();
+      rep->version = version_;
+      rep->accepted = body->version == version_;
+      if (rep->accepted) pending_in_[body->pid] = src;
+      respond(Reply{Status::ok(), rep});
+      return;
+    }
+    case MigOp::kPageData: {
+      // The payload's wire time is the cost; nothing to store.
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+    case MigOp::kTransfer: {
+      auto body = rpc::body_cast<TransferReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      handle_transfer(src, *body, std::move(respond));
+      return;
+    }
+    case MigOp::kFetchPages: {
+      auto body = rpc::body_cast<FetchPagesReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      auto it = residual_.find(body->asid);
+      if (it == residual_.end()) {
+        respond(Reply{Status(Err::kNoEnt, "no residual image"), nullptr});
+        return;
+      }
+      stats_.cor_pages_served += body->count;
+      auto rep = std::make_shared<FetchPagesRep>();
+      rep->bytes = body->count * host_.cluster().costs().page_size;
+      respond(Reply{Status::ok(), rep});
+      return;
+    }
+    case MigOp::kAbort: {
+      auto body = rpc::body_cast<AbortReq>(req.body);
+      SPRITE_CHECK(body != nullptr);
+      pending_in_.erase(body->pid);
+      respond(Reply{Status::ok(), nullptr});
+      return;
+    }
+  }
+  respond(Reply{Status(Err::kNotSupported, "bad migration op"), nullptr});
+}
+
+void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
+                                       std::function<void(Reply)> respond) {
+  auto pit = pending_in_.find(req.pid);
+  if (pit == pending_in_.end() || pit->second != src) {
+    respond(Reply{Status(Err::kInval, "transfer without init"), nullptr});
+    return;
+  }
+  pending_in_.erase(pit);
+
+  auto pcb = std::make_shared<Pcb>();
+  pcb->pid = req.pid;
+  pcb->ppid = req.ppid;
+  pcb->home = req.home;
+  pcb->current = self_;
+  pcb->exe_path = req.exe_path;
+  pcb->args = req.args;
+  pcb->view = req.view;
+  pcb->spawned_at = req.spawned_at;
+  pcb->remaining_compute = req.remaining_compute;
+  pcb->pause_remaining = req.pause_remaining;
+  pcb->blocked_in_wait = req.blocked_in_wait;
+  pcb->kill_pending = req.kill_pending;
+  pcb->kill_sig = req.kill_sig;
+  pcb->next_fd = req.next_fd;
+  pcb->forward_file_calls = req.forward_file_calls;
+  if (req.box) pcb->program = std::move(req.box->program);
+
+  for (const auto& [fd, exported] : req.streams)
+    pcb->fds[fd] = host_.fs().import_stream(exported);
+
+  const HostId source = src;
+  auto finish_install = [this, pcb, respond = std::move(respond)]() mutable {
+    // Update the home machine before the process can run (wait-notifies and
+    // signals must find the new location).
+    auto upd = std::make_shared<proc::UpdateLocationReq>();
+    upd->pid = pcb->pid;
+    upd->host = self_;
+    host_.rpc().call(
+        pcb->home, ServiceId::kProc,
+        static_cast<int>(proc::ProcOp::kUpdateLocation), upd,
+        [this, pcb, respond = std::move(respond)](util::Result<Reply>) mutable {
+          ++stats_.in;
+          host_.procs().install_and_resume(pcb);
+          respond(Reply{Status::ok(), nullptr});
+        });
+  };
+
+  // De-encapsulation consumes target CPU.
+  host_.cpu().submit(
+      JobClass::kKernel, host_.cluster().costs().mig_deencapsulate_cpu,
+      [this, pcb, req, source, finish_install = std::move(finish_install)]() mutable {
+        if (req.has_space) {
+          host_.vm().adopt_space(
+              req.space,
+              [this, pcb, req, source, finish_install = std::move(finish_install)](
+                  util::Result<vm::SpacePtr> r) mutable {
+                if (!r.is_ok()) {
+                  // Cannot reconstruct the image; the source will time out
+                  // and thaw. Drop our half-built state.
+                  return;
+                }
+                pcb->space = *r;
+                if (req.cor_source_resident) {
+                  // Faults on previously-resident pages pull from the
+                  // source, at most 16 pages (64 KB) per RPC — larger
+                  // replies would monopolize the wire and outlive the RPC
+                  // retransmission timeout.
+                  const std::int64_t asid = (*r)->asid();
+                  host_.vm().set_remote_pager(
+                      *r, [this, source, asid](vm::Segment seg,
+                                               std::int64_t first,
+                                               std::int64_t count,
+                                               vm::VmManager::StatusCb cb) {
+                        fetch_remote_chunks(source, asid, seg, first, count,
+                                            std::move(cb));
+                      });
+                }
+                finish_install();
+              });
+          return;
+        }
+
+        // Exec-time migration: rebuild the image from the executable.
+        const proc::ProgramImage* image =
+            host_.cluster().find_program(pcb->exe_path);
+        if (image == nullptr) return;  // source times out and thaws
+        host_.cpu().submit(
+            JobClass::kKernel, host_.cluster().costs().exec_cpu,
+            [this, pcb, image, finish_install = std::move(finish_install)]() mutable {
+              host_.vm().create_space(
+                  pcb->exe_path, image->code_pages, image->heap_pages,
+                  image->stack_pages,
+                  [this, pcb, image, finish_install = std::move(finish_install)](
+                      util::Result<vm::SpacePtr> r) mutable {
+                    if (!r.is_ok()) return;
+                    pcb->space = *r;
+                    if (!pcb->program) pcb->program = image->factory(pcb->args);
+                    pcb->view.clear_result();
+                    finish_install();
+                  });
+            });
+      });
+}
+
+}  // namespace sprite::mig

@@ -1,0 +1,185 @@
+// MigrationManager: the thesis's core contribution — transparent process
+// migration.
+//
+// A migration moves a process between hosts while preserving its pid, its
+// open streams (re-attributed at the I/O servers, with shadow streams for
+// shared offsets), its virtual memory (by one of four transfer strategies),
+// and its process-family relationships (the home machine is updated and
+// keeps answering for the process).
+//
+// Strategies (thesis §4.2.1, experiment E2):
+//   kSpriteFlush — flush dirty pages to the shared file server; the target
+//                  demand-pages from backing store. Sprite's choice: small
+//                  freeze time, no source residual dependency, exploits the
+//                  existing network FS.
+//   kWholeCopy   — Charlotte/LOCUS: send the entire resident image while the
+//                  process is frozen. Long freeze, no residuals.
+//   kPreCopy     — V System: copy pages while the process keeps running,
+//                  re-sending what it re-dirties; freeze only for the final
+//                  dirty set. Small freeze, but total work can exceed one
+//                  image transfer.
+//   kCopyOnRef   — Accent: ship only the page tables; the target pulls pages
+//                  from the source on first reference, leaving a residual
+//                  dependency for the process's lifetime.
+//
+// Exec-time migration (pmake's workhorse) transfers no memory at all: the
+// process image is rebuilt from the executable on the target.
+//
+// Migration version numbers guard against kernels whose encapsulation
+// formats drifted apart (§4.x "migration fragility").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "migration/wire.h"
+#include "proc/table.h"
+#include "rpc/rpc.h"
+#include "util/status.h"
+
+namespace sprite::kern {
+class Host;
+}
+
+namespace sprite::mig {
+
+enum class VmStrategy : int {
+  kSpriteFlush = 0,
+  kWholeCopy,
+  kPreCopy,
+  kCopyOnRef,
+};
+const char* strategy_name(VmStrategy s);
+
+// How a migrated process's file kernel calls are handled (thesis §4.3.1):
+//   kTransferStreams — Sprite: streams move with the process and file calls
+//                      run at the current host (the default).
+//   kForwardHome     — Remote-UNIX-style comparator: streams stay on the
+//                      home machine and every file call is shipped back.
+enum class FileCallMode : int {
+  kTransferStreams = 0,
+  kForwardHome,
+};
+
+// Per-migration measurements, for tests and the benchmark harness.
+struct MigrationRecord {
+  proc::Pid pid = proc::kInvalidPid;
+  sim::HostId from = sim::kInvalidHost;
+  sim::HostId to = sim::kInvalidHost;
+  VmStrategy strategy = VmStrategy::kSpriteFlush;
+  bool exec_time = false;
+  sim::Time started;
+  sim::Time init_done_at;    // target accepted the handshake
+  sim::Time frozen_at;       // when the process stopped executing
+  sim::Time vm_done_at;      // VM strategy finished (flush/copy/tables)
+  sim::Time streams_done_at; // open streams re-attributed
+  sim::Time resumed_at;      // when it was runnable on the target
+  std::int64_t pages_moved = 0;     // via network (whole/pre-copy)
+  std::int64_t pages_flushed = 0;   // via the file server (Sprite flush)
+  std::int64_t precopy_rounds = 0;
+  std::int64_t streams_moved = 0;
+
+  sim::Time total_time() const { return resumed_at - started; }
+  sim::Time freeze_time() const { return resumed_at - frozen_at; }
+};
+
+class MigrationManager : public proc::MigratorIface {
+ public:
+  explicit MigrationManager(kern::Host& host);
+
+  void register_services();
+
+  // The encapsulation-format version this kernel speaks. Kernels refuse to
+  // exchange processes across versions.
+  int version() const { return version_; }
+  void set_version(int v) { version_ = v; }
+
+  VmStrategy strategy() const { return strategy_; }
+  void set_strategy(VmStrategy s) { strategy_ = s; }
+
+  FileCallMode file_call_mode() const { return file_call_mode_; }
+  void set_file_call_mode(FileCallMode m) { file_call_mode_ = m; }
+
+  // proc::MigratorIface. Moves a process currently on this host. The
+  // callback reports failure (process still here, thawed) or success (the
+  // process now runs on `target`).
+  void migrate(const proc::PcbPtr& pcb, sim::HostId target,
+               std::function<void(util::Status)> cb) override;
+
+  // Evicts every foreign process back to its home machine (the owner
+  // returned). cb receives the number evicted once all transfers finish.
+  void evict_all_foreign(std::function<void(int)> cb);
+
+  // ---- Statistics ----
+  struct Stats {
+    std::int64_t out = 0;           // successful migrations away
+    std::int64_t in = 0;            // successful migrations in
+    std::int64_t failed = 0;
+    std::int64_t evictions = 0;
+    std::int64_t cor_pages_served = 0;  // residual-dependency traffic
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<MigrationRecord>& records() const { return records_; }
+  const MigrationRecord& last_record() const;
+  // Residual dependencies currently held for copy-on-reference sources.
+  std::size_t residual_spaces() const { return residual_.size(); }
+
+ private:
+  struct Outgoing {
+    proc::PcbPtr pcb;
+    sim::HostId target = sim::kInvalidHost;
+    std::function<void(util::Status)> cb;
+    MigrationRecord rec;
+    // True when the migration was initiated from inside a kernel call
+    // (migrate-self or exec-time): on failure the process-table layer
+    // completes the call; we only thaw the state. Otherwise (eviction,
+    // direct kernel-initiated migration) a frozen process is resumed here.
+    bool resume_handled_by_caller = false;
+  };
+
+  void handle_rpc(sim::HostId src, const rpc::Request& req,
+                  std::function<void(rpc::Reply)> respond);
+  void handle_transfer(sim::HostId src, const TransferReq& req,
+                       std::function<void(rpc::Reply)> respond);
+
+  // Outgoing pipeline.
+  void after_init(std::uint64_t token);
+  void do_vm_transfer(std::uint64_t token);
+  void precopy_round(std::uint64_t token, int round,
+                     std::int64_t prev_dirty);
+  void send_pages(std::uint64_t token, std::int64_t pages,
+                  std::function<void()> done);
+  void transfer_streams(std::uint64_t token,
+                        std::vector<std::pair<int, fs::StreamPtr>> fds,
+                        std::size_t i, TransferReq* out,
+                        std::function<void()> done);
+  void send_transfer(std::uint64_t token,
+                     std::shared_ptr<TransferReq> body);
+  void fail(std::uint64_t token, util::Status why);
+  // Copy-on-reference pulls, bounded to 16 pages per RPC.
+  void fetch_remote_chunks(sim::HostId source, std::int64_t asid,
+                           vm::Segment seg, std::int64_t first,
+                           std::int64_t count, vm::VmManager::StatusCb cb);
+
+  kern::Host& host_;
+  sim::HostId self_;
+  int version_ = 1;
+  VmStrategy strategy_ = VmStrategy::kSpriteFlush;
+  FileCallMode file_call_mode_ = FileCallMode::kTransferStreams;
+
+  std::map<std::uint64_t, Outgoing> outgoing_;
+  std::uint64_t next_token_ = 1;
+
+  // Target side: pids with an accepted kInit pending a kTransfer.
+  std::map<proc::Pid, sim::HostId> pending_in_;
+
+  // Copy-on-reference source images, by asid.
+  std::map<std::int64_t, vm::SpacePtr> residual_;
+
+  Stats stats_;
+  std::vector<MigrationRecord> records_;
+};
+
+}  // namespace sprite::mig

@@ -1,0 +1,113 @@
+// RPC wire messages for the kMigration service.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/client.h"
+#include "proc/pcb.h"
+#include "proc/program.h"
+#include "rpc/rpc.h"
+#include "vm/vm.h"
+
+namespace sprite::mig {
+
+enum class MigOp : int {
+  kInit = 1,       // version handshake; target allocates a pending slot
+  kPageData,       // whole-copy / pre-copy page payload
+  kTransfer,       // encapsulated process state; target resumes the process
+  kFetchPages,     // copy-on-reference pull from the source
+  kAbort,          // source gave up; target drops the pending slot
+};
+
+struct InitReq : rpc::Message {
+  int version = 0;
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct InitRep : rpc::Message {
+  int version = 0;
+  bool accepted = false;
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+// Bulk page payload; only the byte count matters (see DESIGN.md on page
+// contents).
+struct PageDataReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t bytes = 0;
+  std::int64_t wire_bytes() const override { return 16 + bytes; }
+};
+
+// The Program object cannot be copied through a "wire", so it rides in a
+// shared box the destination moves it out of. In a real kernel this is the
+// register set plus user memory contents; its transfer cost is modelled by
+// the VM strategy, and the box stands in for the bits.
+struct ProgramBox {
+  std::unique_ptr<proc::Program> program;
+};
+
+struct TransferReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  proc::Pid ppid = proc::kInvalidPid;
+  sim::HostId home = sim::kInvalidHost;
+  std::string exe_path;
+  std::vector<std::string> args;
+  proc::ProcessView view;
+  sim::Time spawned_at;
+  sim::Time remaining_compute;
+  sim::Time pause_remaining;
+  bool blocked_in_wait = false;
+  bool kill_pending = false;
+  int kill_sig = 0;
+  int next_fd = 3;
+  // Remote-UNIX comparator: the process's file calls are forwarded home
+  // (no streams ride along; they stayed at home).
+  bool forward_file_calls = false;
+
+  // Streams, already re-attributed at their I/O servers by the source.
+  std::vector<std::pair<int, fs::ExportedStream>> streams;
+
+  // Address space. has_space is false for exec-time migration (the target
+  // builds a fresh image from exe_path).
+  bool has_space = false;
+  vm::SpaceDescriptor space;
+  // Copy-on-reference: the source retains the memory image and serves
+  // kFetchPages for it.
+  bool cor_source_resident = false;
+
+  std::shared_ptr<ProgramBox> box;  // null for exec-time migration
+
+  // PCB + per-stream encapsulation sizes; the page-table bitmaps ride along.
+  std::int64_t pcb_bytes = 0;
+  std::int64_t wire_bytes() const override {
+    std::int64_t n = pcb_bytes;
+    n += static_cast<std::int64_t>(streams.size()) * 256;
+    if (has_space) n += space.wire_bytes();
+    for (const auto& a : args) n += static_cast<std::int64_t>(a.size());
+    return n;
+  }
+};
+
+struct FetchPagesReq : rpc::Message {
+  std::int64_t asid = 0;
+  vm::Segment seg = vm::Segment::kHeap;
+  std::int64_t first = 0;
+  std::int64_t count = 0;
+  std::int64_t wire_bytes() const override { return 40; }
+};
+
+struct FetchPagesRep : rpc::Message {
+  std::int64_t bytes = 0;  // count * page_size of payload
+  std::int64_t wire_bytes() const override { return 16 + bytes; }
+};
+
+struct AbortReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+}  // namespace sprite::mig

@@ -1,0 +1,94 @@
+// Process control block.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/client.h"
+#include "proc/program.h"
+#include "sim/cpu.h"
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "vm/vm.h"
+
+namespace sprite::proc {
+
+enum class ProcState : int {
+  kRunnable,   // dispatching or executing an action
+  kBlocked,    // waiting for a kernel call / page fault / wait() to finish
+  kFrozen,     // suspended for migration (no actions dispatched)
+  kZombie,     // exited; home record holds the status until reaped
+  kDead,       // fully gone
+};
+
+const char* proc_state_name(ProcState s);
+
+struct Pcb {
+  Pid pid = kInvalidPid;
+  Pid ppid = kInvalidPid;
+  sim::HostId home = sim::kInvalidHost;
+  sim::HostId current = sim::kInvalidHost;
+  ProcState state = ProcState::kRunnable;
+
+  // The "registers + user memory": the running program and its last-action
+  // results. Moved wholesale by migration.
+  std::unique_ptr<Program> program;
+  ProcessView view;
+
+  // Executable identity (exec-time migration re-creates the image from it).
+  std::string exe_path;
+  std::vector<std::string> args;
+
+  vm::SpacePtr space;
+
+  // Open streams by descriptor.
+  std::map<int, fs::StreamPtr> fds;
+  int next_fd = 3;  // 0-2 notionally reserved
+
+  bool foreign() const { return home != current; }
+
+  // ---- Scheduling ----
+  sim::CpuJobId cpu_job = sim::kInvalidCpuJob;  // nonzero while computing
+  sim::Time remaining_compute;  // carried across preemption / migration
+
+  // ---- Blocking detail (migration must know how to thaw the process) ----
+  bool blocked_in_wait = false;   // parked until a WaitNotify arrives
+  bool paused = false;            // sleeping in Pause
+  sim::EventHandle pause_event;   // cancelled if frozen mid-sleep
+  sim::Time pause_deadline;       // when the sleep would have ended
+  sim::Time pause_remaining;      // re-armed on the target host
+  // Inside the migrate-self kernel call: the process is at a safe point and
+  // the call "returns" on the target host.
+  bool migrate_syscall_pending = false;
+
+  // ---- Signals ----
+  bool kill_pending = false;
+  int kill_sig = 0;
+
+  // Remote-UNIX-style comparator: when true, a remote (migrated) process's
+  // file kernel calls are forwarded to its home machine instead of running
+  // against transferred stream state. Streams stay home. Used by the
+  // forwarding-vs-transfer ablation (thesis §4.3.1).
+  bool forward_file_calls = false;
+
+  // ---- Migration ----
+  // Deferred migration armed by migrate-self without a started transfer
+  // (pmake's remote exec: migrate at the coming exec).
+  bool migrate_on_exec = false;
+  sim::HostId migrate_target = sim::kInvalidHost;
+  // A freeze was requested while the process was mid-action; the dispatcher
+  // honours it at the next action boundary.
+  std::function<void()> freeze_waiter;
+
+  // Time accounting for utilization reports.
+  sim::Time cpu_used;
+  // When the process was created (age drives long-running heuristics).
+  sim::Time spawned_at;
+};
+
+using PcbPtr = std::shared_ptr<Pcb>;
+
+}  // namespace sprite::proc

@@ -1,0 +1,195 @@
+// The user-program model.
+//
+// A simulated process executes a Program: a state machine the kernel drives
+// by calling next() whenever the previous action completes. Actions are
+// either pure computation, memory touches (driving the VM substrate), or
+// kernel calls. The Program object plus its internal state plays the role of
+// the process's registers and user memory contents — it is exactly what
+// migration encapsulates and ships ("machine-dependent state"), and what
+// fork() deep-copies.
+//
+// Because Programs interact with the world only through actions, the
+// transparency property the thesis demands is directly testable: a program's
+// observable action/result trace must be identical whether or not the
+// process migrated mid-run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fs/types.h"
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "util/status.h"
+#include "vm/vm.h"
+
+namespace sprite::proc {
+
+// Process identifier with the home host encoded in the upper half, as in
+// Sprite (a process keeps its pid across migrations; any kernel can find the
+// home machine from the pid alone).
+using Pid = std::uint64_t;
+inline constexpr Pid kInvalidPid = 0;
+
+constexpr Pid make_pid(sim::HostId home, std::uint32_t seq) {
+  return (static_cast<Pid>(home + 1) << 32) | seq;
+}
+constexpr sim::HostId pid_home(Pid pid) {
+  return static_cast<sim::HostId>((pid >> 32) - 1);
+}
+
+// What a program observes each time it runs: identity plus the result of its
+// previous action. Maintained by the kernel; part of migrated state.
+struct ProcessView {
+  Pid pid = kInvalidPid;
+  Pid ppid = kInvalidPid;
+
+  // Result of the last action.
+  util::Status status;      // kOk unless the action failed
+  std::int64_t rv = 0;      // pid from fork/wait, bytes moved, time, fd...
+  int aux = 0;              // wait: child's exit status
+  fs::Bytes data;           // read / pdev results
+  bool is_child = false;    // true on the child side of fork
+  std::string text;         // gethostname and similar string results
+
+  void clear_result() {
+    status = util::Status::ok();
+    rv = 0;
+    aux = 0;
+    data.clear();
+    is_child = false;
+    text.clear();
+  }
+};
+
+// ---- Actions ----
+
+// Consume CPU time on the current host.
+struct Compute {
+  sim::Time cpu;
+};
+
+// Touch a range of virtual memory pages (may fault; write dirties).
+struct Touch {
+  vm::Segment seg = vm::Segment::kHeap;
+  std::int64_t first = 0;
+  std::int64_t count = 1;
+  bool write = false;
+};
+
+struct SysOpen {
+  std::string path;
+  fs::OpenFlags flags;
+};
+struct SysClose {
+  int fd = -1;
+};
+struct SysRead {
+  int fd = -1;
+  std::int64_t len = 0;
+};
+struct SysWrite {
+  int fd = -1;
+  fs::Bytes data;          // when empty, writes `len` zero bytes
+  std::int64_t len = 0;
+};
+struct SysSeek {
+  int fd = -1;
+  std::int64_t offset = 0;
+};
+struct SysFsync {
+  int fd = -1;
+};
+// Duplicate a descriptor: the new fd shares the stream (and offset), as
+// after dup(2). Result: rv = new fd.
+struct SysDup {
+  int fd = -1;
+};
+struct SysFtruncate {
+  int fd = -1;
+  std::int64_t size = 0;
+};
+struct SysUnlink {
+  std::string path;
+};
+struct SysMkdir {
+  std::string path;
+};
+struct SysStat {
+  std::string path;
+};
+struct SysPdevCall {
+  int fd = -1;
+  fs::Bytes request;
+};
+
+struct SysFork {};
+// Create an anonymous pipe. Result: rv = read fd, aux = write fd.
+struct SysPipe {};
+// Replace this process image. If a migration is pending on the process the
+// kernel performs exec-time migration: the new image is created directly on
+// the target host (the cheap common case the thesis optimizes for).
+struct SysExec {
+  std::string path;
+  std::vector<std::string> args;
+};
+struct SysExit {
+  int status = 0;
+};
+// Wait for any child to exit.
+struct SysWait {};
+struct SysGetPid {};
+struct SysGetPPid {};
+struct SysGetTime {};
+// Reported relative to the HOME machine: forwarded when remote.
+struct SysGetHostName {};
+struct SysKill {
+  Pid pid = kInvalidPid;
+  int sig = 9;
+};
+// Ask the kernel to migrate this process. With at_exec (the default, and the
+// common case in pmake's remote exec) the transfer is deferred to the coming
+// exec so no address space moves at all; otherwise the process migrates
+// immediately as an active process.
+struct SysMigrateSelf {
+  sim::HostId target = sim::kInvalidHost;
+  bool at_exec = true;
+};
+// Sleep for simulated time without consuming CPU.
+struct Pause {
+  sim::Time duration;
+};
+
+using Action =
+    std::variant<Compute, Touch, Pause, SysOpen, SysClose, SysRead, SysWrite,
+                 SysSeek, SysFsync, SysDup, SysFtruncate, SysUnlink, SysMkdir,
+                 SysStat, SysPdevCall, SysFork, SysPipe, SysExec, SysExit,
+                 SysWait, SysGetPid, SysGetPPid, SysGetTime, SysGetHostName,
+                 SysKill, SysMigrateSelf>;
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  // Produces the next action. Called exactly once per completed action.
+  virtual Action next(const ProcessView& view) = 0;
+
+  // Deep copy for fork (the child continues from the same program state).
+  virtual std::unique_ptr<Program> clone() const = 0;
+};
+
+// An executable image: how /bin paths map to runnable Programs plus default
+// segment sizes. Registered cluster-wide (all hosts see the same binaries
+// through the shared file system).
+struct ProgramImage {
+  std::function<std::unique_ptr<Program>(const std::vector<std::string>& args)>
+      factory;
+  std::int64_t code_pages = 16;
+  std::int64_t heap_pages = 16;
+  std::int64_t stack_pages = 4;
+};
+
+}  // namespace sprite::proc

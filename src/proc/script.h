@@ -1,0 +1,112 @@
+// ScriptProgram: a convenient Program implementation driven by a list of
+// steps. Tests, examples, and the workload generators all express simulated
+// user programs this way.
+//
+// Each step is a function returning the next Action; it sees the previous
+// action's results through the context. Steps may carry per-process state in
+// `locals` and may `jump()` to implement loops. Everything in the context is
+// deep-copied on fork, so parent and child diverge exactly as real processes
+// do. The `trace` vector records whatever the program wants to observe —
+// transparency tests assert that a migrated run produces the identical
+// trace to a local run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/program.h"
+
+namespace sprite::proc {
+
+class ScriptProgram : public Program {
+ public:
+  struct Ctx {
+    const ProcessView* view = nullptr;       // previous action's results
+    std::map<std::string, std::int64_t> locals;
+    std::vector<std::string> trace;
+    // When set by a step, execution continues at this step index instead of
+    // the next one.
+    int jump_to = -1;
+
+    void jump(int index) { jump_to = index; }
+    void note(std::string s) { trace.push_back(std::move(s)); }
+  };
+
+  // A step produces the action to perform next. Steps must capture only
+  // values (no mutable shared state) so that clone() yields an independent
+  // process, exactly like fork of a real address space.
+  using Step = std::function<Action(Ctx&)>;
+
+  explicit ScriptProgram(std::vector<Step> steps)
+      : steps_(std::make_shared<const std::vector<Step>>(std::move(steps))) {}
+
+  Action next(const ProcessView& view) override {
+    if (index_ >= static_cast<int>(steps_->size())) return SysExit{0};
+    ctx_.view = &view;
+    ctx_.jump_to = -1;
+    Action a = (*steps_)[static_cast<std::size_t>(index_)](ctx_);
+    index_ = ctx_.jump_to >= 0 ? ctx_.jump_to : index_ + 1;
+    return a;
+  }
+
+  std::unique_ptr<Program> clone() const override {
+    auto copy = std::make_unique<ScriptProgram>(*this);
+    return copy;
+  }
+
+  // Program-state inspection for tests (the "user memory" of the process).
+  const std::vector<std::string>& trace() const { return ctx_.trace; }
+  const std::map<std::string, std::int64_t>& locals() const {
+    return ctx_.locals;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Step>> steps_;  // immutable, shared
+  Ctx ctx_;
+  int index_ = 0;
+};
+
+// Builder with the common idioms spelled out.
+class ScriptBuilder {
+ public:
+  ScriptBuilder& step(ScriptProgram::Step s) {
+    steps_.push_back(std::move(s));
+    return *this;
+  }
+  // Fixed action, ignoring the view.
+  ScriptBuilder& act(Action a) {
+    steps_.push_back([a](ScriptProgram::Ctx&) { return a; });
+    return *this;
+  }
+  ScriptBuilder& compute(sim::Time t) { return act(Compute{t}); }
+  ScriptBuilder& exit(int status = 0) { return act(SysExit{status}); }
+
+  int next_index() const { return static_cast<int>(steps_.size()); }
+
+  std::unique_ptr<ScriptProgram> build() {
+    return std::make_unique<ScriptProgram>(std::move(steps_));
+  }
+  // As a ProgramImage factory that ignores args.
+  ProgramImage image(std::int64_t code_pages = 16, std::int64_t heap_pages = 16,
+                     std::int64_t stack_pages = 4) {
+    auto steps = std::make_shared<const std::vector<ScriptProgram::Step>>(
+        std::move(steps_));
+    ProgramImage img;
+    img.code_pages = code_pages;
+    img.heap_pages = heap_pages;
+    img.stack_pages = stack_pages;
+    img.factory = [steps](const std::vector<std::string>&) {
+      return std::make_unique<ScriptProgram>(
+          std::vector<ScriptProgram::Step>(*steps));
+    };
+    return img;
+  }
+
+ private:
+  std::vector<ScriptProgram::Step> steps_;
+};
+
+}  // namespace sprite::proc

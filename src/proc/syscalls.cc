@@ -1,0 +1,230 @@
+#include "proc/syscalls.h"
+
+#include "util/assert.h"
+
+namespace sprite::proc {
+
+Handling handling_of(Syscall call) {
+  switch (call) {
+    // File operations act on streams that migrated with the process; the
+    // I/O server sees the new host directly. No home involvement.
+    case Syscall::kOpen:
+    case Syscall::kClose:
+    case Syscall::kRead:
+    case Syscall::kWrite:
+    case Syscall::kSeek:
+    case Syscall::kFsync:
+    case Syscall::kDup:
+    case Syscall::kFtruncate:
+    case Syscall::kUnlink:
+    case Syscall::kMkdir:
+    case Syscall::kStat:
+    case Syscall::kPdevCall:
+    case Syscall::kPipe:
+      return Handling::kTransferredState;
+
+    // Identity is carried in the PCB (pids encode the home machine).
+    case Syscall::kGetPid:
+    case Syscall::kGetPPid:
+      return Handling::kTransferredState;
+
+    // Sprite keeps cluster clocks synchronized; time is answered locally
+    // (contrast with Plan 9 / MOSIX, which forward gettimeofday home).
+    case Syscall::kGetTime:
+      return Handling::kLocal;
+
+    // The process must appear to run on its home machine, so host identity
+    // is answered by the home kernel.
+    case Syscall::kGetHostName:
+      return Handling::kForwardHome;
+
+    // Process-family state lives at home.
+    case Syscall::kWait:
+    case Syscall::kKill:
+      return Handling::kForwardHome;
+
+    // Executed here but the home machine participates: fork allocates the
+    // child's pid at home; exit retires the home record.
+    case Syscall::kFork:
+    case Syscall::kExit:
+      return Handling::kHomeInvolved;
+
+    // Exec runs locally unless a migration is pending, in which case the
+    // new image is built on the target (exec-time migration).
+    case Syscall::kExec:
+      return Handling::kTransferredState;
+
+    // "Migrate me" affects the process relative to its home machine; the
+    // thesis forwards it home.
+    case Syscall::kMigrateSelf:
+      return Handling::kForwardHome;
+  }
+  SPRITE_UNREACHABLE("unknown syscall");
+}
+
+const std::vector<Syscall>& all_syscalls() {
+  static const std::vector<Syscall> all = {
+      Syscall::kOpen,    Syscall::kClose,       Syscall::kRead,
+      Syscall::kWrite,   Syscall::kSeek,        Syscall::kFsync,
+      Syscall::kDup,     Syscall::kFtruncate,
+      Syscall::kUnlink,  Syscall::kMkdir,       Syscall::kStat,
+      Syscall::kPdevCall, Syscall::kPipe,       Syscall::kFork,
+      Syscall::kExec,
+      Syscall::kExit,    Syscall::kWait,        Syscall::kGetPid,
+      Syscall::kGetPPid, Syscall::kGetTime,     Syscall::kGetHostName,
+      Syscall::kKill,    Syscall::kMigrateSelf,
+  };
+  return all;
+}
+
+const char* syscall_name(Syscall call) {
+  switch (call) {
+    case Syscall::kOpen: return "open";
+    case Syscall::kClose: return "close";
+    case Syscall::kRead: return "read";
+    case Syscall::kWrite: return "write";
+    case Syscall::kSeek: return "lseek";
+    case Syscall::kFsync: return "fsync";
+    case Syscall::kDup: return "dup";
+    case Syscall::kFtruncate: return "ftruncate";
+    case Syscall::kUnlink: return "unlink";
+    case Syscall::kMkdir: return "mkdir";
+    case Syscall::kStat: return "stat";
+    case Syscall::kPdevCall: return "pdev_call";
+    case Syscall::kPipe: return "pipe";
+    case Syscall::kFork: return "fork";
+    case Syscall::kExec: return "execve";
+    case Syscall::kExit: return "exit";
+    case Syscall::kWait: return "wait";
+    case Syscall::kGetPid: return "getpid";
+    case Syscall::kGetPPid: return "getppid";
+    case Syscall::kGetTime: return "gettimeofday";
+    case Syscall::kGetHostName: return "gethostname";
+    case Syscall::kKill: return "kill";
+    case Syscall::kMigrateSelf: return "migrate";
+  }
+  return "?";
+}
+
+const std::vector<AppendixAEntry>& appendix_a() {
+  using H = Handling;
+  static const std::vector<AppendixAEntry> table = {
+      // ---- File system: streams migrated with the process; the I/O server
+      // sees the process's current host directly.
+      {"open", H::kTransferredState, true, "prefix table + server open"},
+      {"close", H::kTransferredState, true, "releases migrated stream"},
+      {"read", H::kTransferredState, true, "via migrated stream"},
+      {"write", H::kTransferredState, true, "via migrated stream"},
+      {"lseek", H::kTransferredState, true, "local offset or shadow stream"},
+      {"dup", H::kTransferredState, true, "fd table is migrated state"},
+      {"dup2", H::kTransferredState, false, "fd table is migrated state"},
+      {"pipe", H::kTransferredState, true,
+       "server-resident buffer; both ends are migratable streams"},
+      {"fcntl", H::kTransferredState, false, "acts on migrated stream"},
+      {"ioctl", H::kTransferredState, false, "forwarded to I/O server"},
+      {"select", H::kTransferredState, false, "waits on migrated streams"},
+      {"fsync", H::kTransferredState, true, "flushes the client cache"},
+      {"ftruncate", H::kTransferredState, true, "I/O-server operation"},
+      {"stat", H::kTransferredState, true, "name server answers anyone"},
+      {"lstat", H::kTransferredState, false, "as stat"},
+      {"fstat", H::kTransferredState, false, "via migrated stream"},
+      {"access", H::kTransferredState, false, "name server + migrated ids"},
+      {"unlink", H::kTransferredState, true, "name server operation"},
+      {"mkdir", H::kTransferredState, true, "name server operation"},
+      {"rmdir", H::kTransferredState, false, "name server operation"},
+      {"rename", H::kTransferredState, false, "name server operation"},
+      {"link", H::kTransferredState, false, "name server operation"},
+      {"symlink", H::kTransferredState, false, "name server operation"},
+      {"readlink", H::kTransferredState, false, "name server operation"},
+      {"chmod", H::kTransferredState, false, "ids migrated with process"},
+      {"chown", H::kTransferredState, false, "ids migrated with process"},
+      {"utimes", H::kTransferredState, false, "name server operation"},
+      {"mknod", H::kTransferredState, false, "name server operation"},
+      {"mount", H::kLocal, false, "privileged; affects current host"},
+      {"umount", H::kLocal, false, "privileged; affects current host"},
+      {"chdir", H::kTransferredState, false, "cwd is migrated state"},
+      {"chroot", H::kTransferredState, false, "root is migrated state"},
+      {"umask", H::kTransferredState, false, "pcb field"},
+      {"flock", H::kTransferredState, false, "kept at the I/O server"},
+
+      // ---- Process management: the family lives at home.
+      {"fork", H::kHomeInvolved, true, "pid allocated at home"},
+      {"vfork", H::kHomeInvolved, false, "as fork"},
+      {"execve", H::kTransferredState, true,
+       "local, unless migration pending (exec-time migration)"},
+      {"exit", H::kHomeInvolved, true, "home record retired"},
+      {"wait", H::kForwardHome, true, "family state lives at home"},
+      {"getpid", H::kTransferredState, true, "pcb field (home-encoded)"},
+      {"getppid", H::kTransferredState, true, "pcb field"},
+      {"kill", H::kForwardHome, true, "routed by the pid's home"},
+      {"killpg", H::kForwardHome, false, "process groups live at home"},
+      {"getpgrp", H::kForwardHome, false, "process groups live at home"},
+      {"setpgrp", H::kForwardHome, false, "process groups live at home"},
+      {"setpriority", H::kForwardHome, false,
+       "priority relative to the home machine"},
+      {"getpriority", H::kForwardHome, false, "as setpriority"},
+      {"ptrace", H::kForwardHome, false, "debugger attaches via home"},
+      {"sigvec", H::kTransferredState, false, "signal table is pcb state"},
+      {"sigblock", H::kTransferredState, false, "pcb state"},
+      {"sigsetmask", H::kTransferredState, false, "pcb state"},
+      {"sigpause", H::kTransferredState, false, "pcb state"},
+      {"sigstack", H::kTransferredState, false, "pcb state"},
+
+      // ---- Identity and accounting.
+      {"getuid", H::kTransferredState, false, "credentials migrate"},
+      {"geteuid", H::kTransferredState, false, "credentials migrate"},
+      {"getgid", H::kTransferredState, false, "credentials migrate"},
+      {"getgroups", H::kTransferredState, false, "credentials migrate"},
+      {"setreuid", H::kHomeInvolved, false, "home validates + records"},
+      {"setregid", H::kHomeInvolved, false, "home validates + records"},
+      {"getrusage", H::kForwardHome, false,
+       "usage is accumulated against the home machine"},
+      {"getrlimit", H::kTransferredState, false, "pcb state"},
+      {"setrlimit", H::kTransferredState, false, "pcb state"},
+
+      // ---- Time and host identity.
+      {"gettimeofday", H::kLocal, true, "Sprite synchronizes clocks"},
+      {"settimeofday", H::kLocal, false, "privileged, current host"},
+      {"getitimer", H::kTransferredState, false, "timers migrate"},
+      {"setitimer", H::kTransferredState, false, "timers migrate"},
+      {"gethostname", H::kForwardHome, true,
+       "the process appears to run at home"},
+      {"sethostname", H::kForwardHome, false, "as gethostname"},
+      {"gethostid", H::kForwardHome, false, "as gethostname"},
+
+      // ---- Memory.
+      {"sbrk", H::kTransferredState, false, "grows the migrated heap"},
+      {"mmap", H::kTransferredState, false,
+       "backed by the shared FS; migrates like other segments"},
+      {"munmap", H::kTransferredState, false, "as mmap"},
+      {"mprotect", H::kTransferredState, false, "page tables migrate"},
+
+      // ---- IPC: pseudo-devices / sockets via the FS (location hidden by
+      // the kernel; [Che87] routes Internet sockets through a server).
+      {"socket", H::kTransferredState, false, "pseudo-device to IP server"},
+      {"bind", H::kTransferredState, false, "via the IP server"},
+      {"connect", H::kTransferredState, false, "via the IP server"},
+      {"accept", H::kTransferredState, false, "via the IP server"},
+      {"send", H::kTransferredState, false, "via the IP server"},
+      {"recv", H::kTransferredState, false, "via the IP server"},
+
+      // ---- Sprite-specific.
+      {"migrate", H::kForwardHome, true,
+       "affects the process relative to its home machine"},
+      {"pdev_call", H::kTransferredState, true,
+       "pseudo-device request; kernel hides both endpoints' locations"},
+  };
+  return table;
+}
+
+const char* handling_name(Handling h) {
+  switch (h) {
+    case Handling::kLocal: return "local";
+    case Handling::kTransferredState: return "transferred-state";
+    case Handling::kForwardHome: return "forward-home";
+    case Handling::kHomeInvolved: return "home-involved";
+  }
+  return "?";
+}
+
+}  // namespace sprite::proc

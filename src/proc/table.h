@@ -1,0 +1,186 @@
+// ProcTable: one host's process management.
+//
+// Owns the PCBs of processes currently executing on this host (including
+// foreign, i.e. migrated-in, processes) and the *home records* of processes
+// whose home is this host wherever they currently execute. Home records are
+// the state that gives Sprite its transparency: process-family operations
+// (fork pid allocation, wait, exit, signal routing) always consult the home
+// machine, so a process's pid, parent, and children look the same no matter
+// where it runs.
+//
+// The kernel-call dispatcher implements the Appendix-A table in
+// proc/syscalls.h: transferred-state calls run here against migrated state,
+// forward-home calls turn into kProc RPCs, and home-involved calls do their
+// home bookkeeping as a side effect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proc/pcb.h"
+#include "proc/program.h"
+#include "proc/syscalls.h"
+#include "proc/wire.h"
+#include "rpc/rpc.h"
+#include "util/status.h"
+
+namespace sprite::kern {
+class Host;
+}
+
+namespace sprite::proc {
+
+// Interface the migration module implements; keeps proc/ decoupled from
+// migration/ (which depends on proc/).
+class MigratorIface {
+ public:
+  virtual ~MigratorIface() = default;
+  // Moves `pcb` (resident on this host, already eligible) to `target`.
+  virtual void migrate(const PcbPtr& pcb, sim::HostId target,
+                       std::function<void(util::Status)> cb) = 0;
+};
+
+class ProcTable {
+ public:
+  using SpawnCb = std::function<void(util::Result<Pid>)>;
+
+  explicit ProcTable(kern::Host& host);
+
+  // Registers the kProc RPC service.
+  void register_services();
+
+  // The migration module installs itself here (may stay null in tests that
+  // exercise proc/ alone; migrate-self then fails kNotSupported).
+  void set_migrator(MigratorIface* m) { migrator_ = m; }
+
+  // ---- Process creation and observation ----
+  // Starts a fresh process on this host (its home). The executable must be
+  // registered with the Cluster and exist in the file system.
+  void spawn(const std::string& exe_path, std::vector<std::string> args,
+             SpawnCb cb);
+
+  // Fires `cb(exit_status)` when `pid` exits. Must be called on the pid's
+  // home host. Fires immediately if already exited.
+  void notify_on_exit(Pid pid, std::function<void(int)> cb);
+
+  // ---- Introspection ----
+  PcbPtr find(Pid pid) const;
+  std::vector<PcbPtr> local_processes() const;
+  std::vector<PcbPtr> foreign_processes() const;  // migrated-in
+  bool home_record_alive(Pid pid) const;
+  sim::HostId home_record_location(Pid pid) const;
+
+  struct Stats {
+    std::int64_t spawns = 0;
+    std::int64_t forks = 0;
+    std::int64_t execs = 0;
+    std::int64_t exits = 0;
+    std::int64_t syscalls = 0;
+    std::int64_t forwarded_calls = 0;  // executed via the home machine
+  };
+  const Stats& stats() const { return stats_; }
+
+  // ---- Hooks for the migration module ----
+  // Suspends the process at its next safe point (immediately if computing —
+  // the remaining burst is carried — or when the in-flight kernel call
+  // completes). cb fires once the process is frozen.
+  void freeze(const PcbPtr& pcb, std::function<void()> cb);
+  // Removes a (frozen) pcb from this host after its state has been shipped.
+  void remove(Pid pid);
+  // Installs a migrated-in pcb and resumes it. The pcb must have its
+  // program/space/fds already reconstructed; `current` is set here.
+  void install_and_resume(const PcbPtr& pcb);
+  // Updates the home record's location field (local form; the RPC form is
+  // ProcOp::kUpdateLocation).
+  void set_home_record_location(Pid pid, sim::HostId where);
+
+  // Continues a process after externally-managed state changes (used by the
+  // migration module after exec-time image construction).
+  void resume(const PcbPtr& pcb);
+
+  // ---- Remote-UNIX comparator (thesis §4.3.1 design alternative) ----
+  // Moves the process's descriptor table into its home record so that file
+  // kernel calls issued remotely are forwarded here instead of running
+  // against transferred state. Must be called on the home host.
+  void park_streams_at_home(const PcbPtr& pcb);
+  // Inverse, when the process returns home: direct access resumes.
+  void restore_parked_streams(const PcbPtr& pcb);
+
+ private:
+  struct HomeRecord {
+    Pid pid = kInvalidPid;
+    Pid parent = kInvalidPid;
+    sim::HostId current = sim::kInvalidHost;
+    bool alive = true;
+    int exit_status = 0;
+    std::vector<Pid> children;                   // live children
+    std::deque<std::pair<Pid, int>> zombies;     // exited, unreaped
+    bool waiter_registered = false;
+    sim::HostId waiter_host = sim::kInvalidHost;
+    std::vector<std::function<void(int)>> observers;
+    // Remote-UNIX comparator: streams kept at home while the process runs
+    // remotely with file-call forwarding.
+    std::map<int, fs::StreamPtr> resident_streams;
+    int stub_next_fd = 3;
+  };
+
+  // ---- Dispatch loop ----
+  void continue_process(const PcbPtr& pcb);
+  void dispatch(const PcbPtr& pcb, Action action);
+  // Charges local kernel-call overhead then runs `fn`.
+  void syscall_enter(const PcbPtr& pcb, std::function<void()> fn);
+  // Marks the action result applied and schedules the next dispatch.
+  void finish_action(const PcbPtr& pcb);
+  bool owns(const PcbPtr& pcb) const;
+
+  // ---- Individual kernel calls ----
+  void do_open(const PcbPtr& pcb, const SysOpen& a);
+  void do_close(const PcbPtr& pcb, const SysClose& a);
+  void do_read(const PcbPtr& pcb, const SysRead& a);
+  void do_write(const PcbPtr& pcb, const SysWrite& a);
+  void do_seek(const PcbPtr& pcb, const SysSeek& a);
+  void do_fsync(const PcbPtr& pcb, const SysFsync& a);
+  void do_dup(const PcbPtr& pcb, const SysDup& a);
+  void do_ftruncate(const PcbPtr& pcb, const SysFtruncate& a);
+  void do_unlink(const PcbPtr& pcb, const SysUnlink& a);
+  void do_mkdir(const PcbPtr& pcb, const SysMkdir& a);
+  void do_stat(const PcbPtr& pcb, const SysStat& a);
+  void do_pdev_call(const PcbPtr& pcb, const SysPdevCall& a);
+  void do_fork(const PcbPtr& pcb);
+  void do_pipe(const PcbPtr& pcb);
+  void do_exec(const PcbPtr& pcb, const SysExec& a);
+  void do_exit(const PcbPtr& pcb, int status);
+  void do_wait(const PcbPtr& pcb);
+  void do_kill(const PcbPtr& pcb, const SysKill& a);
+  void do_get_host_name(const PcbPtr& pcb);
+  void do_migrate_self(const PcbPtr& pcb, const SysMigrateSelf& a);
+
+  // ---- Home-record operations (this host as home machine) ----
+  void handle_proc_rpc(sim::HostId src, const rpc::Request& req,
+                       std::function<void(rpc::Reply)> respond);
+  // Forwarded-file-call plumbing (Remote-UNIX comparator).
+  void forward_file_call(const PcbPtr& pcb, std::shared_ptr<FileCallReq> req);
+  void home_file_call(const FileCallReq& req,
+                      std::function<void(rpc::Reply)> respond);
+  Pid home_fork_child(Pid parent, sim::HostId child_host);
+  void home_exit(Pid pid, int status);
+  WaitRep home_wait(Pid parent, sim::HostId waiter_host);
+  util::Status home_signal(Pid pid, int sig);
+  // Delivery on the current host.
+  void deliver_signal(Pid pid, int sig);
+  void deliver_wait_notify(Pid parent, Pid child, int status);
+
+  kern::Host& host_;
+  sim::HostId self_;
+  std::map<Pid, PcbPtr> procs_;
+  std::map<Pid, HomeRecord> home_records_;
+  std::uint32_t next_seq_ = 1;
+  MigratorIface* migrator_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace sprite::proc

@@ -1,0 +1,122 @@
+// RPC wire messages for the kProc service: home-machine process-family
+// operations and home-call forwarding for remote processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "proc/program.h"
+#include "rpc/rpc.h"
+
+namespace sprite::proc {
+
+enum class ProcOp : int {
+  kForkChild = 1,    // home allocates a pid and records the child
+  kExitNotify,       // remote process exited: retire home record
+  kWait,             // parent waits; home replies found/none + registers
+  kWaitNotify,       // home -> parent's current host: a child exited
+  kSignal,           // any host -> home: route a signal by pid
+  kSignalDeliver,    // home -> current host: deliver the signal
+  kUpdateLocation,   // migration moved a process; home updates its record
+  kGetHostName,      // forwarded gethostname: answered by home
+  kMigrateRequest,   // forwarded migrate-self: home initiates the migration
+  kFileCall,         // Remote-UNIX comparator: execute a file call at home
+};
+
+// Which file call is being forwarded home (Remote-UNIX comparator).
+enum class FileCallOp : int {
+  kOpen = 1,
+  kClose,
+  kRead,
+  kWrite,
+  kSeek,
+  kFsync,
+};
+
+struct FileCallReq : rpc::Message {
+  Pid pid = kInvalidPid;
+  FileCallOp op = FileCallOp::kRead;
+  int fd = -1;
+  std::string path;           // open
+  fs::OpenFlags flags;        // open
+  std::int64_t len = 0;       // read / zero-fill write
+  std::int64_t offset = 0;    // seek
+  fs::Bytes data;             // write payload
+  std::int64_t wire_bytes() const override {
+    return 48 + static_cast<std::int64_t>(path.size()) +
+           static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct FileCallRep : rpc::Message {
+  std::int64_t rv = 0;
+  fs::Bytes data;  // read results cross the wire back
+  std::int64_t wire_bytes() const override {
+    return 16 + static_cast<std::int64_t>(data.size());
+  }
+};
+
+struct ForkChildReq : rpc::Message {
+  Pid parent = kInvalidPid;
+  sim::HostId child_host = sim::kInvalidHost;  // where the child will run
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct ForkChildRep : rpc::Message {
+  Pid child = kInvalidPid;
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+struct ExitNotifyReq : rpc::Message {
+  Pid pid = kInvalidPid;
+  int status = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct WaitReq : rpc::Message {
+  Pid parent = kInvalidPid;
+  sim::HostId waiter_host = sim::kInvalidHost;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct WaitRep : rpc::Message {
+  bool found = false;       // a zombie child was reaped
+  bool no_children = false; // ECHILD: nothing to wait for, ever
+  Pid child = kInvalidPid;
+  int status = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct WaitNotifyReq : rpc::Message {
+  Pid parent = kInvalidPid;
+  Pid child = kInvalidPid;
+  int status = 0;
+  std::int64_t wire_bytes() const override { return 32; }
+};
+
+struct SignalReq : rpc::Message {
+  Pid pid = kInvalidPid;
+  int sig = 9;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct UpdateLocationReq : rpc::Message {
+  Pid pid = kInvalidPid;
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+struct HostNameRep : rpc::Message {
+  std::string name;
+  std::int64_t wire_bytes() const override {
+    return 8 + static_cast<std::int64_t>(name.size());
+  }
+};
+
+struct MigrateRequestReq : rpc::Message {
+  Pid pid = kInvalidPid;
+  sim::HostId target = sim::kInvalidHost;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+}  // namespace sprite::proc

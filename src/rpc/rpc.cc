@@ -1,0 +1,177 @@
+#include "rpc/rpc.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::rpc {
+
+using sim::HostId;
+using sim::JobClass;
+using sim::Time;
+
+RpcNode::RpcNode(sim::Simulator& sim, sim::Network& net, sim::Cpu& cpu,
+                 HostId self, const sim::Costs& costs)
+    : sim_(sim), net_(net), cpu_(cpu), self_(self), costs_(costs) {}
+
+void RpcNode::register_service(ServiceId id, Handler handler) {
+  SPRITE_CHECK_MSG(services_.find(id) == services_.end(),
+                   "service registered twice");
+  services_[id] = std::move(handler);
+}
+
+void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
+                   ReplyCallback on_reply) {
+  ++calls_started_;
+
+  if (dst == self_) {
+    // Local fast path: dispatch through the same table, no network, no
+    // marshalling CPU (Sprite short-circuits local RPCs the same way).
+    auto it = services_.find(service);
+    if (it == services_.end()) {
+      sim_.after(Time::zero(), [cb = std::move(on_reply)] {
+        cb(util::Status(util::Err::kNotSupported, "no such service"));
+      });
+      return;
+    }
+    Request req{service, op, std::move(body)};
+    sim_.after(Time::zero(),
+               [this, it, req = std::move(req),
+                cb = std::move(on_reply)]() mutable {
+                 it->second(self_, req,
+                            [cb = std::move(cb)](Reply rep) { cb(rep); });
+               });
+    return;
+  }
+
+  const std::uint64_t id = next_call_id_++;
+  PendingCall pc;
+  pc.dst = dst;
+  pc.req = Request{service, op, std::move(body)};
+  pc.on_reply = std::move(on_reply);
+  pending_.emplace(id, std::move(pc));
+  transmit(id);
+}
+
+void RpcNode::transmit(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  // Marshalling consumes client kernel CPU before the packet hits the wire.
+  cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg, [this, call_id] {
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;  // completed or failed meanwhile
+    WireRequest w{call_id, it->second.req};
+    net_.send(self_, it->second.dst, it->second.req.wire_bytes(),
+              std::any(std::move(w)));
+    arm_timeout(call_id);
+  });
+}
+
+void RpcNode::arm_timeout(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;
+  // Base timeout plus twice the request's own wire time, so bulk payloads on
+  // a contended medium are not spuriously retransmitted.
+  const Time deadline =
+      costs_.rpc_timeout + costs_.wire_time(it->second.req.wire_bytes()) * 2.0;
+  it->second.timeout = sim_.after(deadline, [this, call_id] {
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;
+    if (it->second.attempts > costs_.rpc_max_retries) {
+      ++timeouts_;
+      auto cb = std::move(it->second.on_reply);
+      pending_.erase(it);
+      cb(util::Status(util::Err::kTimedOut, "rpc retries exhausted"));
+      return;
+    }
+    ++retransmissions_;
+    transmit(call_id);
+  });
+}
+
+void RpcNode::handle_packet(const sim::Packet& pkt) {
+  if (const auto* wreq = std::any_cast<WireRequest>(&pkt.payload)) {
+    // Interrupt + dispatch consumes server kernel CPU.
+    cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
+                [this, src = pkt.src, w = *wreq] { handle_request(src, w); });
+    return;
+  }
+  if (const auto* wrep = std::any_cast<WireReply>(&pkt.payload)) {
+    cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
+                [this, w = *wrep] { handle_reply(w); });
+    return;
+  }
+  SPRITE_UNREACHABLE("unknown packet payload type");
+}
+
+void RpcNode::multicast(ServiceId service, int op, MessagePtr body) {
+  Request req{service, op, std::move(body)};
+  const std::int64_t bytes = req.wire_bytes();
+  // call_id 0 marks a one-way request: no dedup, no reply.
+  cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
+              [this, req = std::move(req), bytes]() mutable {
+                WireRequest w{0, std::move(req)};
+                net_.multicast(self_, bytes, std::any(std::move(w)));
+              });
+}
+
+void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
+  if (wreq.call_id == 0) {
+    // One-way multicast: dispatch with a reply sink that goes nowhere.
+    auto svc_it = services_.find(wreq.req.service);
+    if (svc_it == services_.end()) return;
+    ++requests_served_;
+    svc_it->second(src, wreq.req, [](Reply) {});
+    return;
+  }
+  const auto key = std::make_pair(src, wreq.call_id);
+  auto slot_it = served_.find(key);
+  if (slot_it != served_.end()) {
+    if (slot_it->second.completed) {
+      // Duplicate of a completed call: replay the cached reply.
+      WireReply w{wreq.call_id, slot_it->second.cached};
+      net_.send(self_, src, slot_it->second.cached.wire_bytes(),
+                std::any(std::move(w)));
+    }
+    // Duplicate of an in-progress call: drop; the pending respond() answers.
+    return;
+  }
+
+  if (served_.size() > 4096) served_.erase(served_.begin());
+  served_.emplace(key, ServerSlot{});
+  ++requests_served_;
+
+  auto respond = [this, src, call_id = wreq.call_id, key](Reply rep) {
+    auto it = served_.find(key);
+    if (it != served_.end()) {
+      it->second.completed = true;
+      it->second.cached = rep;
+    }
+    // Reply marshalling consumes server CPU, then the wire.
+    cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
+                [this, src, call_id, rep = std::move(rep)] {
+                  WireReply w{call_id, rep};
+                  net_.send(self_, src, rep.wire_bytes(),
+                            std::any(std::move(w)));
+                });
+  };
+
+  auto svc_it = services_.find(wreq.req.service);
+  if (svc_it == services_.end()) {
+    respond(Reply{util::Status(util::Err::kNotSupported, "no such service"),
+                  nullptr});
+    return;
+  }
+  svc_it->second(src, wreq.req, std::move(respond));
+}
+
+void RpcNode::handle_reply(const WireReply& wrep) {
+  auto it = pending_.find(wrep.call_id);
+  if (it == pending_.end()) return;  // late reply after timeout: ignore
+  it->second.timeout.cancel();
+  auto cb = std::move(it->second.on_reply);
+  pending_.erase(it);
+  cb(wrep.rep);
+}
+
+}  // namespace sprite::rpc

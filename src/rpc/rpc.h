@@ -1,0 +1,164 @@
+// Kernel-to-kernel RPC in the style of Sprite's RPC system [Wel86], itself
+// modelled on Birrell-Nelson [BN84].
+//
+// Each host owns one RpcNode. Services (file system, process control,
+// migration, load sharing, pseudo-devices) register handlers; remote kernels
+// call them. Semantics are at-most-once: the server deduplicates retransmitted
+// requests and replays the cached reply. A call that cannot be completed
+// (server down) fails with Err::kTimedOut after bounded retransmissions.
+//
+// Costs: every message consumes rpc_cpu_per_msg of kernel CPU on each end and
+// occupies the shared network medium for its wire time, so RPC-heavy
+// activities (pmake open storms, migration) contend for the server CPU and
+// the Ethernet exactly the way the thesis describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/costs.h"
+#include "sim/cpu.h"
+#include "sim/ids.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace sprite::rpc {
+
+// Base class for RPC payload bodies. Payloads live in one address space (the
+// simulation), so "serialization" is notional: each type declares its wire
+// size and is shared immutably.
+struct Message {
+  virtual ~Message() = default;
+  virtual std::int64_t wire_bytes() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+// Convenience for bodies that are plain structs.
+template <typename T>
+std::shared_ptr<const T> body_cast(const MessagePtr& m) {
+  return std::dynamic_pointer_cast<const T>(m);
+}
+
+// Services a kernel exports. One dispatch table per host.
+enum class ServiceId : int {
+  kEcho = 0,     // diagnostics
+  kFsName,       // name operations: open/close/lookup/remove
+  kFsIo,         // block I/O, shared offsets, stream migration
+  kFsCallback,   // server-to-client cache consistency callbacks
+  kProc,         // remote process ops: signals, wait, home-call forwarding
+  kMigration,    // migration protocol
+  kLoadShare,    // host-selection protocols
+  kPdev,         // pseudo-device request forwarding
+};
+
+struct Request {
+  ServiceId service{};
+  int op = 0;
+  MessagePtr body;  // may be null for argument-less ops
+
+  std::int64_t wire_bytes() const {
+    return 32 + (body ? body->wire_bytes() : 0);
+  }
+};
+
+struct Reply {
+  util::Status status;
+  MessagePtr body;
+
+  std::int64_t wire_bytes() const {
+    return 32 + (body ? body->wire_bytes() : 0);
+  }
+};
+
+class RpcNode {
+ public:
+  // `respond` must be invoked exactly once, possibly asynchronously (a file
+  // server may need disk events before it can answer).
+  using Handler = std::function<void(sim::HostId src, const Request& req,
+                                     std::function<void(Reply)> respond)>;
+  using ReplyCallback = std::function<void(util::Result<Reply>)>;
+
+  RpcNode(sim::Simulator& sim, sim::Network& net, sim::Cpu& cpu,
+          sim::HostId self, const sim::Costs& costs);
+
+  sim::HostId host() const { return self_; }
+
+  void register_service(ServiceId id, Handler handler);
+
+  // Calls `service.op` on `dst`. `on_reply` fires exactly once with the
+  // reply or with Err::kTimedOut. Calls to the local host are served through
+  // the same dispatch path without touching the network (Sprite kernels
+  // special-case local RPCs the same way).
+  void call(sim::HostId dst, ServiceId service, int op, MessagePtr body,
+            ReplyCallback on_reply);
+
+  // One-way multicast: a single transmission delivered to every up host's
+  // matching service handler. No reply, no retransmission (used by the
+  // multicast host-selection architecture; responders answer with separate
+  // unicast calls).
+  void multicast(ServiceId service, int op, MessagePtr body);
+
+  // Entry point for packets addressed to this host. The host glue registers
+  // this with the Network (the RpcNode cannot attach itself because HostIds
+  // are assigned by Network::attach).
+  void handle_packet(const sim::Packet& pkt);
+
+  // ---- statistics ----
+  std::int64_t calls_started() const { return calls_started_; }
+  std::int64_t retransmissions() const { return retransmissions_; }
+  std::int64_t timeouts() const { return timeouts_; }
+  std::int64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct WireRequest {
+    std::uint64_t call_id;
+    Request req;
+  };
+  struct WireReply {
+    std::uint64_t call_id;
+    Reply rep;
+  };
+
+  struct PendingCall {
+    sim::HostId dst;
+    Request req;
+    ReplyCallback on_reply;
+    int attempts = 0;
+    sim::EventHandle timeout;
+  };
+
+  void handle_request(sim::HostId src, const WireRequest& wreq);
+  void handle_reply(const WireReply& wrep);
+  void transmit(std::uint64_t call_id);
+  void arm_timeout(std::uint64_t call_id);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::Cpu& cpu_;
+  sim::HostId self_;
+  const sim::Costs& costs_;
+
+  std::map<ServiceId, Handler> services_;
+  std::map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_call_id_ = 1;
+
+  // At-most-once duplicate suppression: (client, call_id) -> cached reply.
+  // In-progress entries hold no reply yet; retransmissions of those are
+  // dropped (the eventual reply answers them).
+  struct ServerSlot {
+    bool completed = false;
+    Reply cached;
+  };
+  std::map<std::pair<sim::HostId, std::uint64_t>, ServerSlot> served_;
+
+  std::int64_t calls_started_ = 0;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t timeouts_ = 0;
+  std::int64_t requests_served_ = 0;
+};
+
+}  // namespace sprite::rpc

@@ -1,0 +1,152 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sprite::sim {
+
+Cpu::Cpu(Simulator& sim, const Costs& costs) : sim_(sim), costs_(costs) {}
+
+void Cpu::start_load_sampling() {
+  if (sampling_) return;
+  sampling_ = true;
+  sim_.every(costs_.load_sample_period, [this] { sample_load(); });
+}
+
+void Cpu::sample_load() {
+  const double d = costs_.load_decay_per_sample;
+  load_avg_ = d * load_avg_ + (1.0 - d) * static_cast<double>(runnable_users());
+}
+
+std::deque<Cpu::Job>& Cpu::queue_for(JobClass cls) {
+  return cls == JobClass::kKernel ? kernel_q_ : user_q_;
+}
+
+CpuJobId Cpu::submit(JobClass cls, Time demand, std::function<void()> on_done) {
+  SPRITE_CHECK_MSG(demand >= Time::zero(), "negative CPU demand");
+  const CpuJobId id = next_id_++;
+  Job job{id, cls, demand, std::move(on_done), true};
+
+  if (demand == Time::zero()) {
+    // Zero-demand jobs complete on the spot (but asynchronously, to keep
+    // callback reentrancy simple).
+    sim_.after(Time::zero(), [fn = std::move(job.on_done)] { fn(); });
+    return id;
+  }
+
+  if (cls == JobClass::kKernel && running_ && running_->job.cls == JobClass::kUser) {
+    // Kernel work preempts user work immediately.
+    Job user = preempt_running();
+    user_q_.push_front(std::move(user));  // resumes where it left off
+  }
+
+  queue_for(cls).push_back(std::move(job));
+  maybe_start();
+  return id;
+}
+
+Time Cpu::cancel(CpuJobId id) {
+  if (running_ && running_->job.id == id) {
+    running_->event.cancel();
+    // Account the service it received so utilization stats stay truthful.
+    const Time served = sim_.now() - running_->started;
+    (running_->job.cls == JobClass::kKernel ? busy_kernel_ : busy_user_) +=
+        served;
+    Time remaining = running_->job.remaining - served;
+    if (remaining < Time::zero()) remaining = Time::zero();
+    running_.reset();
+    maybe_start();
+    return remaining;
+  }
+  for (auto* q : {&kernel_q_, &user_q_}) {
+    for (auto& j : *q) {
+      if (j.id == id && j.alive) {
+        j.alive = false;  // skipped when it reaches the front
+        return j.remaining;
+      }
+    }
+  }
+  return Time::zero();
+}
+
+int Cpu::runnable_users() const {
+  int n = 0;
+  for (const auto& j : user_q_)
+    if (j.alive) ++n;
+  if (running_ && running_->job.cls == JobClass::kUser) ++n;
+  return n;
+}
+
+Time Cpu::busy_time(JobClass cls) const {
+  Time t = cls == JobClass::kKernel ? busy_kernel_ : busy_user_;
+  if (running_ && running_->job.cls == cls) t += sim_.now() - running_->started;
+  return t;
+}
+
+double Cpu::utilization() const {
+  const Time now = sim_.now();
+  if (now <= Time::zero()) return 0.0;
+  return (busy_time(JobClass::kKernel) + busy_time(JobClass::kUser)) / now;
+}
+
+Cpu::Job Cpu::preempt_running() {
+  SPRITE_CHECK(running_);
+  running_->event.cancel();
+  const Time served = sim_.now() - running_->started;
+  Job job = std::move(running_->job);
+  (job.cls == JobClass::kKernel ? busy_kernel_ : busy_user_) += served;
+  job.remaining -= served;
+  if (job.remaining < Time::zero()) job.remaining = Time::zero();
+  running_.reset();
+  return job;
+}
+
+void Cpu::maybe_start() {
+  if (running_) return;
+  while (!kernel_q_.empty() && !kernel_q_.front().alive) kernel_q_.pop_front();
+  while (!user_q_.empty() && !user_q_.front().alive) user_q_.pop_front();
+  if (!kernel_q_.empty()) {
+    Job j = std::move(kernel_q_.front());
+    kernel_q_.pop_front();
+    start(std::move(j));
+  } else if (!user_q_.empty()) {
+    Job j = std::move(user_q_.front());
+    user_q_.pop_front();
+    start(std::move(j));
+  }
+}
+
+void Cpu::start(Job job) {
+  const Time slice = job.cls == JobClass::kKernel
+                         ? job.remaining
+                         : std::min(job.remaining, costs_.quantum);
+  Running r;
+  r.started = sim_.now();
+  r.slice_end = sim_.now() + slice;
+  r.job = std::move(job);
+  r.event = sim_.at(r.slice_end, [this] { on_slice_end(); });
+  running_.emplace(std::move(r));
+}
+
+void Cpu::on_slice_end() {
+  SPRITE_CHECK(running_);
+  const Time served = sim_.now() - running_->started;
+  Job job = std::move(running_->job);
+  (job.cls == JobClass::kKernel ? busy_kernel_ : busy_user_) += served;
+  job.remaining -= served;
+  running_.reset();
+
+  if (job.remaining <= Time::zero()) {
+    auto on_done = std::move(job.on_done);
+    maybe_start();
+    if (on_done) on_done();
+    return;
+  }
+
+  // Quantum expired with work left: round-robin to the back of the queue.
+  user_q_.push_back(std::move(job));
+  maybe_start();
+}
+
+}  // namespace sprite::sim

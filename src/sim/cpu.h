@@ -1,0 +1,99 @@
+// Per-host CPU model: a single processor shared by kernel work and user
+// processes.
+//
+// Kernel jobs (RPC service, file-server request handling, migration
+// bookkeeping) run ahead of user jobs and preempt them — this is what turns
+// the file server's per-open name-lookup cost into the pmake saturation the
+// thesis measures. User jobs are scheduled round-robin with a fixed quantum.
+//
+// The CPU also maintains the UNIX-style load average that Sprite's idle-host
+// detection reads, including the externally settable bias MOSIX-style flood
+// prevention uses ("anticipated load").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "sim/costs.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sprite::sim {
+
+enum class JobClass { kKernel, kUser };
+
+using CpuJobId = std::uint64_t;
+inline constexpr CpuJobId kInvalidCpuJob = 0;
+
+class Cpu {
+ public:
+  Cpu(Simulator& sim, const Costs& costs);
+
+  // Begins periodic load-average sampling (idempotent).
+  void start_load_sampling();
+
+  // Submits a job needing `demand` of CPU time; `on_done` fires when it has
+  // received that much service. Kernel jobs run FIFO ahead of all user jobs.
+  CpuJobId submit(JobClass cls, Time demand, std::function<void()> on_done);
+
+  // Cancels a queued or running job (no-op if already completed). Returns
+  // the unserved CPU demand, so a preempted compute burst can be resumed
+  // elsewhere (migration carries the remainder to the target host).
+  Time cancel(CpuJobId id);
+
+  // Number of runnable user jobs (running + queued).
+  int runnable_users() const;
+
+  // UNIX-style exponentially damped load average over runnable user jobs.
+  double load_average() const { return load_avg_ + load_bias_; }
+
+  // Extra anticipated load added by the load-sharing facility (flood
+  // prevention: a host that has just been handed out reports itself busier
+  // than its sampled load).
+  void set_load_bias(double bias) { load_bias_ = bias; }
+  double load_bias() const { return load_bias_; }
+
+  // Total CPU time delivered to each class, for utilization reporting.
+  Time busy_time(JobClass cls) const;
+  double utilization() const;  // all classes, over time since construction
+
+ private:
+  struct Job {
+    CpuJobId id;
+    JobClass cls;
+    Time remaining;
+    std::function<void()> on_done;
+    bool alive = true;
+  };
+
+  struct Running {
+    Job job;
+    Time started;
+    Time slice_end;  // when the scheduled slice event fires
+    EventHandle event;
+  };
+
+  void maybe_start();
+  void start(Job job);
+  // Accounts service received by the running job up to now; returns it.
+  Job preempt_running();
+  void on_slice_end();
+  void sample_load();
+  std::deque<Job>& queue_for(JobClass cls);
+
+  Simulator& sim_;
+  const Costs& costs_;
+  std::deque<Job> kernel_q_;
+  std::deque<Job> user_q_;
+  std::optional<Running> running_;
+  CpuJobId next_id_ = 1;
+  double load_avg_ = 0.0;
+  double load_bias_ = 0.0;
+  bool sampling_ = false;
+  Time busy_kernel_;
+  Time busy_user_;
+};
+
+}  // namespace sprite::sim

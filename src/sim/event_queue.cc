@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace sprite::sim {
+
+EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  pq_.push(Entry{at, next_seq_++, alive, std::move(fn)});
+  return EventHandle(alive);
+}
+
+void EventQueue::drop_dead() const {
+  while (!pq_.empty() && !*pq_.top().alive) pq_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return pq_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_dead();
+  SPRITE_CHECK_MSG(!pq_.empty(), "next_time on empty queue");
+  return pq_.top().at;
+}
+
+std::pair<Time, std::function<void()>> EventQueue::pop() {
+  drop_dead();
+  SPRITE_CHECK_MSG(!pq_.empty(), "pop on empty queue");
+  const Entry& top = pq_.top();
+  *top.alive = false;  // fired events are no longer pending
+  std::pair<Time, std::function<void()>> out{top.at, std::move(top.fn)};
+  pq_.pop();
+  return out;
+}
+
+}  // namespace sprite::sim

@@ -1,0 +1,76 @@
+// Discrete-event queue: the heart of the simulator.
+//
+// Events fire in (time, insertion-sequence) order, so same-time events run in
+// the order they were scheduled — this plus per-component RNG streams makes
+// every run bit-for-bit deterministic.
+//
+// Cancellation is lazy: a cancelled event's tombstone flag is flipped and the
+// entry is discarded when it reaches the front of the queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sprite::sim {
+
+// Handle that can cancel a pending event. Default-constructed handles are
+// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. The Simulator enforces that `at` is
+  // never earlier than the current simulated time.
+  EventHandle schedule(Time at, std::function<void()> fn);
+
+  // True when no live (uncancelled) events remain.
+  bool empty() const;
+
+  // Time of the earliest live event. Precondition: !empty().
+  Time next_time() const;
+
+  // Removes and returns the earliest live event (its time and callback).
+  // Precondition: !empty().
+  std::pair<Time, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    // shared_ptr so EventHandle can outlive the queue safely.
+    std::shared_ptr<bool> alive;
+    mutable std::function<void()> fn;  // moved out on pop
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  // Discards cancelled entries at the front.
+  void drop_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sprite::sim

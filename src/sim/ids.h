@@ -1,0 +1,13 @@
+// Small identifier types shared across modules.
+#pragma once
+
+#include <cstdint>
+
+namespace sprite::sim {
+
+// Index of a host on the simulated network. Host 0..N-1; kInvalidHost marks
+// "no host".
+using HostId = std::int32_t;
+inline constexpr HostId kInvalidHost = -1;
+
+}  // namespace sprite::sim

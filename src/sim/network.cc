@@ -1,0 +1,76 @@
+#include "sim/network.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::sim {
+
+Network::Network(Simulator& sim, const Costs& costs)
+    : sim_(sim), costs_(costs) {}
+
+HostId Network::attach(Handler handler) {
+  hosts_.push_back(HostSlot{std::move(handler), true});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::set_host_up(HostId h, bool up) {
+  SPRITE_CHECK(h >= 0 && static_cast<std::size_t>(h) < hosts_.size());
+  hosts_[static_cast<std::size_t>(h)].up = up;
+}
+
+bool Network::host_up(HostId h) const {
+  SPRITE_CHECK(h >= 0 && static_cast<std::size_t>(h) < hosts_.size());
+  return hosts_[static_cast<std::size_t>(h)].up;
+}
+
+Time Network::reserve_medium(std::int64_t bytes) {
+  const Time tx = costs_.wire_time(bytes);
+  const Time start = std::max(sim_.now(), medium_free_at_);
+  medium_free_at_ = start + tx;
+  busy_ += tx;
+  ++messages_;
+  bytes_ += bytes;
+  return medium_free_at_ + costs_.net_latency;
+}
+
+void Network::send(HostId src, HostId dst, std::int64_t bytes,
+                   std::any payload) {
+  SPRITE_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < hosts_.size());
+  if (!host_up(src)) return;  // a down host cannot transmit
+  // A down destination still lets the sender occupy the wire; the message is
+  // simply never received (the RPC layer's timeout handles it).
+  const Time deliver_at = reserve_medium(bytes);
+  sim_.at(deliver_at,
+          [this, pkt = Packet{src, dst, bytes, std::move(payload)}]() {
+            auto& slot = hosts_[static_cast<std::size_t>(pkt.dst)];
+            if (slot.up && slot.handler) slot.handler(pkt);
+          });
+}
+
+void Network::multicast(HostId src, std::int64_t bytes, std::any payload) {
+  if (!host_up(src)) return;
+  const Time deliver_at = reserve_medium(bytes);
+  sim_.at(deliver_at,
+          [this, pkt = Packet{src, kInvalidHost, bytes, std::move(payload)}]() {
+            for (std::size_t h = 0; h < hosts_.size(); ++h) {
+              if (static_cast<HostId>(h) == pkt.src) continue;
+              auto& slot = hosts_[h];
+              if (slot.up && slot.handler) slot.handler(pkt);
+            }
+          });
+}
+
+double Network::utilization() const {
+  const Time window = sim_.now() - stats_epoch_;
+  if (window <= Time::zero()) return 0.0;
+  return busy_ / window;
+}
+
+void Network::reset_stats() {
+  messages_ = 0;
+  bytes_ = 0;
+  busy_ = Time::zero();
+  stats_epoch_ = sim_.now();
+}
+
+}  // namespace sprite::sim

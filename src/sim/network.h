@@ -1,0 +1,80 @@
+// Shared-medium network model (10 Mbit/s Ethernet flavour).
+//
+// All hosts share one transmission medium: a message occupies the medium for
+// its transmission time, so concurrent senders queue — this is what makes
+// bulk VM transfers and multicast host-selection storms contend realistically.
+// Delivery is reliable and ordered per medium (Ethernet loss is folded into
+// the RPC timeout/retransmission machinery, which is exercised by explicitly
+// downing hosts).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/costs.h"
+#include "sim/ids.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sprite::sim {
+
+// A delivered message. `payload` is opaque to the network; the RPC layer
+// stores its own message types inside.
+struct Packet {
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;  // kInvalidHost for multicast
+  std::int64_t bytes = 0;
+  std::any payload;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  Network(Simulator& sim, const Costs& costs);
+
+  // Registers the receive handler for a host; returns its HostId.
+  HostId attach(Handler handler);
+
+  std::size_t num_hosts() const { return hosts_.size(); }
+
+  // A down host silently drops incoming and outgoing messages.
+  void set_host_up(HostId h, bool up);
+  bool host_up(HostId h) const;
+
+  // Sends `bytes` of payload from src to dst. Delivery time reflects medium
+  // queuing + transmission + latency.
+  void send(HostId src, HostId dst, std::int64_t bytes, std::any payload);
+
+  // One transmission delivered to every up host except the sender.
+  void multicast(HostId src, std::int64_t bytes, std::any payload);
+
+  // ---- Statistics ----
+  std::int64_t messages_sent() const { return messages_; }
+  std::int64_t bytes_sent() const { return bytes_; }
+  // Fraction of [0, now] the medium spent transmitting.
+  double utilization() const;
+  void reset_stats();
+
+ private:
+  // Returns the delivery time for a message of `bytes`, advancing the
+  // medium's busy horizon.
+  Time reserve_medium(std::int64_t bytes);
+
+  Simulator& sim_;
+  const Costs& costs_;
+  struct HostSlot {
+    Handler handler;
+    bool up = true;
+  };
+  std::vector<HostSlot> hosts_;
+  Time medium_free_at_;
+  std::int64_t messages_ = 0;
+  std::int64_t bytes_ = 0;
+  Time busy_;
+  Time stats_epoch_;
+};
+
+}  // namespace sprite::sim

@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  util::set_log_time_source([this] { return now_.us(); });
+}
+
+Simulator::~Simulator() { util::set_log_time_source(nullptr); }
+
+EventHandle Simulator::at(Time t, std::function<void()> fn) {
+  SPRITE_CHECK_MSG(t >= now_, "scheduling into the past");
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventHandle Simulator::after(Time delay, std::function<void()> fn) {
+  SPRITE_CHECK_MSG(delay >= Time::zero(), "negative delay");
+  return at(now_ + delay, std::move(fn));
+}
+
+void Simulator::every(Time period, std::function<void()> fn, Time until) {
+  SPRITE_CHECK_MSG(period > Time::zero(), "non-positive period");
+  const Time next = now_ + period;
+  if (next > until || next > horizon_) return;
+  at(next, [this, period, fn = std::move(fn), until]() mutable {
+    fn();
+    every(period, std::move(fn), until);
+  });
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [t, fn] = queue_.pop();
+  SPRITE_CHECK_MSG(t >= now_, "event queue time went backwards");
+  now_ = t;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!step()) return false;
+  }
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace sprite::sim

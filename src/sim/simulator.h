@@ -1,0 +1,70 @@
+// The Simulator: simulated clock + event loop + root RNG.
+//
+// All kernel mechanisms in this repository are event-driven objects hanging
+// off one Simulator. A run is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace sprite::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= now).
+  EventHandle at(Time t, std::function<void()> fn);
+
+  // Schedules `fn` after a delay (>= 0).
+  EventHandle after(Time delay, std::function<void()> fn);
+
+  // Recurring background activity (load sampling, cache writeback, user
+  // activity). Re-arms itself after each firing until `until` (defaults to
+  // the simulator horizon at each re-arm, so extending the horizon extends
+  // recurring activity).
+  void every(Time period, std::function<void()> fn,
+             Time until = Time::max());
+
+  // The horizon bounds recurring events so the event queue drains once real
+  // work completes. Experiments set it once, generously.
+  void set_horizon(Time t) { horizon_ = t; }
+  Time horizon() const { return horizon_; }
+
+  // Fires the next event if any; returns false when the queue is empty.
+  bool step();
+
+  // Runs every event scheduled at or before `t`, then advances the clock
+  // to `t` even if the queue drained earlier.
+  void run_until(Time t);
+
+  // Runs until `done` returns true or the queue empties. Returns the value
+  // of `done()` at exit (false means the simulation starved first).
+  bool run_while_pending(const std::function<bool()>& done);
+
+  // Drains the queue completely (recurring events stop at the horizon).
+  void run();
+
+  // Independent RNG stream for a component.
+  util::Rng fork_rng() { return rng_.fork(); }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  Time now_;
+  Time horizon_ = Time::hours(24);
+  EventQueue queue_;
+  util::Rng rng_;
+};
+
+}  // namespace sprite::sim

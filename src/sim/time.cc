@@ -1,0 +1,21 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace sprite::sim {
+
+std::string Time::to_string() const {
+  char buf[48];
+  if (us_ < 1000) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  } else if (us_ < 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else if (us_ < 3600LL * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", s());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fh", h());
+  }
+  return buf;
+}
+
+}  // namespace sprite::sim

@@ -1,0 +1,57 @@
+// Simulated time.
+//
+// One strong type is used for both instants and durations (the simulation
+// epoch is 0, so the distinction carries no information here, and a single
+// type keeps arithmetic in kernel code light). Resolution is one microsecond,
+// which is finer than any cost constant in the calibration model.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace sprite::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time usec(std::int64_t v) { return Time(v); }
+  static constexpr Time msec(double v) {
+    return Time(static_cast<std::int64_t>(v * 1e3));
+  }
+  static constexpr Time sec(double v) {
+    return Time(static_cast<std::int64_t>(v * 1e6));
+  }
+  static constexpr Time minutes(double v) { return sec(v * 60.0); }
+  static constexpr Time hours(double v) { return sec(v * 3600.0); }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double s() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double h() const { return s() / 3600.0; }
+
+  constexpr Time operator+(Time o) const { return Time(us_ + o.us_); }
+  constexpr Time operator-(Time o) const { return Time(us_ - o.us_); }
+  constexpr Time& operator+=(Time o) { us_ += o.us_; return *this; }
+  constexpr Time& operator-=(Time o) { us_ -= o.us_; return *this; }
+  constexpr Time operator*(double k) const {
+    return Time(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Time operator/(std::int64_t k) const { return Time(us_ / k); }
+  constexpr double operator/(Time o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string to_string() const;  // e.g. "12.345ms", "3.2s"
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace sprite::sim

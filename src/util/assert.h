@@ -1,0 +1,39 @@
+// Lightweight always-on assertion macros.
+//
+// The simulation is deterministic; an assertion failure indicates a logic bug,
+// never an environmental condition, so we abort with a readable message rather
+// than throwing (C++ Core Guidelines I.5/E.12: treat precondition violations
+// as unrecoverable).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sprite::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sprite::util
+
+// Abort with a diagnostic unless `expr` holds. Always compiled in.
+#define SPRITE_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::sprite::util::check_failed(__FILE__, __LINE__, #expr, "");     \
+  } while (0)
+
+// Like SPRITE_CHECK with an explanatory message.
+#define SPRITE_CHECK_MSG(expr, msg)                                    \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::sprite::util::check_failed(__FILE__, __LINE__, #expr, (msg));  \
+  } while (0)
+
+// Marks an unreachable code path.
+#define SPRITE_UNREACHABLE(msg) \
+  ::sprite::util::check_failed(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,47 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace sprite::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<std::int64_t()> g_time_source;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_time_source(std::function<std::int64_t()> now_us) {
+  g_time_source = std::move(now_us);
+}
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char body[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+  if (g_time_source) {
+    const std::int64_t us = g_time_source();
+    std::fprintf(stderr, "[%s %10.3fms %-4s] %s\n", level_name(level),
+                 static_cast<double>(us) / 1000.0, tag, body);
+  } else {
+    std::fprintf(stderr, "[%s %-4s] %s\n", level_name(level), tag, body);
+  }
+}
+
+}  // namespace sprite::util

@@ -1,0 +1,49 @@
+// Leveled logging with simulated-time prefixes.
+//
+// The simulator installs a time source so every log line is stamped with the
+// simulated clock, which is what one wants when debugging a distributed
+// protocol. Logging defaults to kWarn so tests and benches stay quiet;
+// examples turn on kInfo.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace sprite::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Global log level. Not thread-safe by design: the simulation is
+// single-threaded and deterministic.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Installs a function returning the current simulated time in microseconds;
+// pass nullptr to clear. Owned by the active Simulator.
+void set_log_time_source(std::function<std::int64_t()> now_us);
+
+// printf-style log statement. `tag` identifies the subsystem
+// ("rpc", "fs", "mig", ...).
+void logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace sprite::util
+
+#define SPRITE_LOG(level, tag, ...)                                   \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::sprite::util::log_level()))                \
+      ::sprite::util::logf((level), (tag), __VA_ARGS__);              \
+  } while (0)
+
+#define LOG_TRACE(tag, ...) \
+  SPRITE_LOG(::sprite::util::LogLevel::kTrace, tag, __VA_ARGS__)
+#define LOG_DEBUG(tag, ...) \
+  SPRITE_LOG(::sprite::util::LogLevel::kDebug, tag, __VA_ARGS__)
+#define LOG_INFO(tag, ...) \
+  SPRITE_LOG(::sprite::util::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LOG_WARN(tag, ...) \
+  SPRITE_LOG(::sprite::util::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LOG_ERROR(tag, ...) \
+  SPRITE_LOG(::sprite::util::LogLevel::kError, tag, __VA_ARGS__)

@@ -1,0 +1,30 @@
+#include "util/status.h"
+
+namespace sprite::util {
+
+const char* err_name(Err e) {
+  switch (e) {
+    case Err::kOk: return "OK";
+    case Err::kNoEnt: return "NOENT";
+    case Err::kBadF: return "BADF";
+    case Err::kAccess: return "ACCESS";
+    case Err::kExist: return "EXIST";
+    case Err::kInval: return "INVAL";
+    case Err::kBusy: return "BUSY";
+    case Err::kAgain: return "AGAIN";
+    case Err::kTimedOut: return "TIMEDOUT";
+    case Err::kNotMigratable: return "NOTMIGRATABLE";
+    case Err::kVersionSkew: return "VERSIONSKEW";
+    case Err::kNoSpace: return "NOSPACE";
+    case Err::kSrch: return "SRCH";
+    case Err::kChild: return "CHILD";
+    case Err::kIntr: return "INTR";
+    case Err::kStale: return "STALE";
+    case Err::kNotSupported: return "NOTSUPPORTED";
+    case Err::kWouldBlock: return "WOULDBLOCK";
+    case Err::kPipe: return "PIPE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sprite::util

@@ -1,0 +1,112 @@
+// Status / Result<T>: value-based error handling for simulated kernel calls.
+//
+// Kernel calls in Sprite (as in 4.3BSD) report failures through errno-style
+// codes, not exceptions, so the simulation mirrors that: every fallible
+// protocol operation returns a Status or a Result<T>.  Exceptions are reserved
+// for programming errors (see util/assert.h).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.h"
+
+namespace sprite::util {
+
+// Error codes for kernel-call and RPC failures.  Names follow the UNIX errno
+// values they correspond to where one exists.
+enum class Err {
+  kOk = 0,
+  kNoEnt,         // no such file, process, or host
+  kBadF,          // bad stream descriptor
+  kAccess,        // permission / mode mismatch
+  kExist,         // already exists
+  kInval,         // invalid argument
+  kBusy,          // resource busy (e.g. host no longer idle)
+  kAgain,         // transient failure, retry later
+  kTimedOut,      // RPC timed out (host down or unreachable)
+  kNotMigratable, // process uses state that cannot be migrated
+  kVersionSkew,   // migration version mismatch between kernels
+  kNoSpace,       // out of blocks / table slots
+  kSrch,          // no such process (ESRCH)
+  kChild,         // no children to wait for (ECHILD)
+  kIntr,          // interrupted by signal
+  kStale,         // stale handle after server reboot
+  kNotSupported,  // operation not implemented for this object
+  kWouldBlock,    // pipe empty/full; the server will send a wakeup
+  kPipe,          // EPIPE: writing a pipe with no readers
+};
+
+// Human-readable name for an error code.
+const char* err_name(Err e);
+
+// A success-or-error value.  Cheap to copy; carries an optional message for
+// diagnostics only (never used for control flow).
+class Status {
+ public:
+  Status() : err_(Err::kOk) {}
+  explicit Status(Err e, std::string msg = "")
+      : err_(e), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return err_ == Err::kOk; }
+  Err err() const { return err_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    std::string s = err_name(err_);
+    if (!msg_.empty()) s += ": " + msg_;
+    return s;
+  }
+
+ private:
+  Err err_;
+  std::string msg_;
+};
+
+// A value of type T or an error.  Analogous to std::expected<T, Err>
+// (unavailable in this toolchain's standard library).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Err e, std::string msg = "")        // NOLINT: implicit by design
+      : v_(Status(e, std::move(msg))) {
+    SPRITE_CHECK_MSG(e != Err::kOk, "Result error constructor requires error");
+  }
+  Result(Status s) : v_(std::move(s)) {      // NOLINT: implicit by design
+    SPRITE_CHECK_MSG(!status().is_ok(),
+                     "Result Status constructor requires error");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  // Precondition: is_ok().
+  T& value() {
+    SPRITE_CHECK_MSG(is_ok(), "Result::value on error");
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    SPRITE_CHECK_MSG(is_ok(), "Result::value on error");
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Precondition: !is_ok().
+  const Status& status() const {
+    SPRITE_CHECK_MSG(!is_ok(), "Result::status on success");
+    return std::get<Status>(v_);
+  }
+  Err err() const { return is_ok() ? Err::kOk : status().err(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace sprite::util

@@ -1,0 +1,30 @@
+// ASCII table printing for benchmark output.
+//
+// Every bench binary reports the paper's rows next to measured rows; a tiny
+// fixed-width table formatter keeps that output legible and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sprite::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sprite::util

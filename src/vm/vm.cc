@@ -1,0 +1,435 @@
+#include "vm/vm.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::vm {
+
+using fs::OpenFlags;
+using sim::JobClass;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+const char* segment_name(Segment s) {
+  switch (s) {
+    case Segment::kCode: return "code";
+    case Segment::kHeap: return "heap";
+    case Segment::kStack: return "stack";
+  }
+  return "?";
+}
+
+std::int64_t SegmentState::resident_pages() const {
+  return std::count(resident.begin(), resident.end(), true);
+}
+
+std::int64_t SegmentState::remote_pages() const {
+  return std::count(in_remote.begin(), in_remote.end(), true);
+}
+
+std::int64_t SegmentState::dirty_pages() const {
+  return std::count(dirty.begin(), dirty.end(), true);
+}
+
+std::int64_t SpaceDescriptor::total_pages() const {
+  std::int64_t n = 0;
+  for (const auto& s : segments) n += s.pages;
+  return n;
+}
+
+std::int64_t SpaceDescriptor::resident_pages() const {
+  std::int64_t n = 0;
+  for (const auto& s : segments)
+    n += std::count(s.resident.begin(), s.resident.end(), true);
+  return n;
+}
+
+std::int64_t SpaceDescriptor::wire_bytes() const {
+  // ids + per-page bits (3 bitmaps), rounded up.
+  return 64 + total_pages() * 3 / 8 + 3 * 16;
+}
+
+std::int64_t AddressSpace::total_pages() const {
+  std::int64_t n = 0;
+  for (const auto& s : segments_) n += s.pages;
+  return n;
+}
+
+std::int64_t AddressSpace::resident_pages() const {
+  std::int64_t n = 0;
+  for (const auto& s : segments_) n += s.resident_pages();
+  return n;
+}
+
+std::int64_t AddressSpace::dirty_pages() const {
+  std::int64_t n = 0;
+  for (const auto& s : segments_) n += s.dirty_pages();
+  return n;
+}
+
+VmManager::VmManager(sim::Simulator& sim, sim::Cpu& cpu, fs::FsClient& fs,
+                     const sim::Costs& costs, sim::HostId self)
+    : sim_(sim), cpu_(cpu), fs_(fs), costs_(costs), self_(self) {}
+
+std::string VmManager::swap_path(std::int64_t asid, Segment seg) const {
+  return "/swap/as" + std::to_string(asid) + "." + segment_name(seg);
+}
+
+void VmManager::create_space(const std::string& exe_path,
+                             std::int64_t code_pages, std::int64_t heap_pages,
+                             std::int64_t stack_pages, SpaceCb cb) {
+  auto space = std::make_shared<AddressSpace>();
+  space->asid_ = ((static_cast<std::int64_t>(self_) + 1) << 32) | next_asid_++;
+  const std::int64_t sizes[3] = {code_pages, heap_pages, stack_pages};
+  for (auto seg : kAllSegments) {
+    SegmentState& st = space->segment(seg);
+    st.seg = seg;
+    st.pages = sizes[static_cast<int>(seg)];
+    st.backing_path = seg == Segment::kCode ? exe_path
+                                            : swap_path(space->asid_, seg);
+    st.resident.assign(static_cast<std::size_t>(st.pages), false);
+    st.dirty.assign(static_cast<std::size_t>(st.pages), false);
+    // Code lives in the executable; heap/stack start zero-fill.
+    st.in_backing.assign(static_cast<std::size_t>(st.pages),
+                         seg == Segment::kCode);
+    st.in_remote.assign(static_cast<std::size_t>(st.pages), false);
+  }
+  open_backings(space, /*create_swap=*/true, std::move(cb));
+}
+
+void VmManager::adopt_space(const SpaceDescriptor& desc, SpaceCb cb) {
+  auto space = std::make_shared<AddressSpace>();
+  space->asid_ = desc.asid;
+  for (auto seg : kAllSegments) {
+    const auto& d = desc.segments[static_cast<std::size_t>(seg)];
+    SegmentState& st = space->segment(seg);
+    st.seg = seg;
+    st.pages = d.pages;
+    st.backing_path = d.backing_path;
+    st.resident = d.resident;
+    st.dirty = d.dirty;
+    st.in_backing = d.in_backing;
+    st.in_remote = d.in_remote.empty()
+                       ? std::vector<bool>(static_cast<std::size_t>(d.pages),
+                                           false)
+                       : d.in_remote;
+  }
+  open_backings(space, /*create_swap=*/false, std::move(cb));
+}
+
+void VmManager::open_backings(SpacePtr space, bool create_swap, SpaceCb cb) {
+  // Open code read-only, heap/stack read-write, all bypassing the block
+  // cache (VM traffic does not pollute the FS cache).
+  // Weak self-capture: a strong one would cycle and leak (see
+  // fs/client.cc cached_read for the idiom).
+  auto open_seg = std::make_shared<std::function<void(std::size_t)>>();
+  *open_seg = [this, space, create_swap,
+               wself = std::weak_ptr<std::function<void(std::size_t)>>(
+                   open_seg),
+               cb = std::move(cb)](std::size_t i) mutable {
+    auto open_seg = wself.lock();
+    SPRITE_CHECK(open_seg != nullptr);
+    if (i >= kAllSegments.size()) {
+      cb(space);
+      return;
+    }
+    const Segment seg = kAllSegments[i];
+    SegmentState& st = space->segment(seg);
+    if (st.pages == 0) {
+      (*open_seg)(i + 1);
+      return;
+    }
+    OpenFlags flags;
+    if (seg == Segment::kCode) {
+      flags = OpenFlags::read_only();
+    } else {
+      flags = create_swap ? OpenFlags::create_rw() : OpenFlags::read_write();
+      flags.create = true;  // robust to re-adoption after server cleanup
+    }
+    flags.no_cache = true;
+    fs_.open(st.backing_path, flags,
+             [space, &st, open_seg, i, cb](util::Result<fs::StreamPtr> r) mutable {
+               if (!r.is_ok()) return cb(r.status());
+               st.backing = *r;
+               (*open_seg)(i + 1);
+             });
+  };
+  (*open_seg)(0);
+}
+
+void VmManager::touch(const SpacePtr& space, Segment seg, std::int64_t first,
+                      std::int64_t count, bool write, StatusCb cb) {
+  SegmentState& st = space->segment(seg);
+  if (first < 0 || count < 0 || first + count > st.pages)
+    return cb(Status(Err::kInval, "touch out of segment bounds"));
+  if (write && seg == Segment::kCode)
+    return cb(Status(Err::kAccess, "write to code segment"));
+
+  // Dirty marking applies to the whole range on writes.
+  if (write) {
+    for (std::int64_t p = first; p < first + count; ++p)
+      st.dirty[static_cast<std::size_t>(p)] = true;
+  }
+
+  // Group non-resident pages into runs with the same page source
+  // (remote > backing > zero-fill).
+  auto source_of = [&st](std::int64_t p) {
+    if (st.in_remote[static_cast<std::size_t>(p)]) return 2;
+    if (st.in_backing[static_cast<std::size_t>(p)]) return 1;
+    return 0;
+  };
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;  // (first, count)
+  for (std::int64_t p = first; p < first + count; ++p) {
+    if (st.resident[static_cast<std::size_t>(p)]) continue;
+    if (!runs.empty() && runs.back().first + runs.back().second == p &&
+        source_of(runs.back().first) == source_of(p)) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(p, 1);
+    }
+  }
+  if (runs.empty()) {
+    sim_.after(Time::zero(), [cb = std::move(cb)] { cb(Status::ok()); });
+    return;
+  }
+  fault_runs(space, seg, std::move(runs), 0, std::move(cb));
+}
+
+void VmManager::fault_runs(
+    SpacePtr space, Segment seg,
+    std::vector<std::pair<std::int64_t, std::int64_t>> runs, std::size_t i,
+    StatusCb cb) {
+  if (i >= runs.size()) return cb(Status::ok());
+  SegmentState& st = space->segment(seg);
+  const auto [first, count] = runs[i];
+  const bool remote = st.in_remote[static_cast<std::size_t>(first)];
+  const bool backed = !remote && st.in_backing[static_cast<std::size_t>(first)];
+  stats_.faults += count;
+
+  auto mark_resident = [this, space, seg, first = first, count = count, backed,
+                        remote] {
+    SegmentState& st = space->segment(seg);
+    for (std::int64_t p = first; p < first + count; ++p) {
+      st.resident[static_cast<std::size_t>(p)] = true;
+      st.in_remote[static_cast<std::size_t>(p)] = false;
+    }
+    if (remote) {
+      stats_.pages_from_remote += count;
+    } else if (backed) {
+      stats_.pages_in += count;
+    } else {
+      stats_.pages_zero_fill += count;
+    }
+  };
+
+  cpu_.submit(
+      JobClass::kKernel, costs_.vm_fault_cpu * count,
+      [this, space, seg, runs = std::move(runs), i, backed, remote,
+       first = first, count = count, mark_resident,
+       cb = std::move(cb)]() mutable {
+        SegmentState& st = space->segment(seg);
+        if (remote) {
+          // Copy-on-reference: pull the pages from the migration source.
+          auto pit = remote_pagers_.find(space->asid());
+          if (pit == remote_pagers_.end())
+            return cb(Status(Err::kInval, "remote pages without a pager"));
+          pit->second(seg, first, count,
+                      [this, space, seg, runs = std::move(runs), i,
+                       mark_resident, cb = std::move(cb)](Status s) mutable {
+                        if (!s.is_ok()) return cb(s);
+                        mark_resident();
+                        fault_runs(space, seg, std::move(runs), i + 1,
+                                   std::move(cb));
+                      });
+          return;
+        }
+        if (!backed) {
+          // Zero-fill: no I/O.
+          mark_resident();
+          fault_runs(space, seg, std::move(runs), i + 1, std::move(cb));
+          return;
+        }
+        const Status se = fs_.seek(st.backing, first * costs_.page_size);
+        SPRITE_CHECK(se.is_ok());
+        fs_.read(st.backing, count * costs_.page_size,
+                 [this, space, seg, runs = std::move(runs), i, mark_resident,
+                  cb = std::move(cb)](util::Result<fs::Bytes> r) mutable {
+                   if (!r.is_ok()) return cb(r.status());
+                   mark_resident();
+                   fault_runs(space, seg, std::move(runs), i + 1,
+                              std::move(cb));
+                 });
+      });
+}
+
+void VmManager::set_remote_pager(const SpacePtr& space, RemotePager pager) {
+  remote_pagers_[space->asid()] = std::move(pager);
+}
+
+void VmManager::clear_remote_pager(std::int64_t asid) {
+  remote_pagers_.erase(asid);
+}
+
+void VmManager::flush_dirty(const SpacePtr& space, StatusCb cb) {
+  // Flush heap then stack (code is never dirty).
+  auto flush_seg = std::make_shared<std::function<void(std::size_t)>>();
+  *flush_seg = [this, space,
+                wself = std::weak_ptr<std::function<void(std::size_t)>>(
+                    flush_seg),
+                cb = std::move(cb)](std::size_t si) mutable {
+    auto flush_seg = wself.lock();  // weak self: see open_backings
+    SPRITE_CHECK(flush_seg != nullptr);
+    if (si >= kAllSegments.size()) {
+      cb(Status::ok());
+      return;
+    }
+    const Segment seg = kAllSegments[si];
+    SegmentState& st = space->segment(seg);
+    std::vector<std::pair<std::int64_t, std::int64_t>> runs;
+    for (std::int64_t p = 0; p < st.pages; ++p) {
+      if (!st.dirty[static_cast<std::size_t>(p)]) continue;
+      if (!runs.empty() && runs.back().first + runs.back().second == p) {
+        ++runs.back().second;
+      } else {
+        runs.emplace_back(p, 1);
+      }
+    }
+    if (runs.empty()) {
+      (*flush_seg)(si + 1);
+      return;
+    }
+    flush_segment_runs(space, seg, std::move(runs), 0,
+                       [flush_seg, si, cb](Status s) mutable {
+                         if (!s.is_ok()) return cb(s);
+                         (*flush_seg)(si + 1);
+                       });
+  };
+  (*flush_seg)(0);
+}
+
+void VmManager::flush_segment_runs(
+    SpacePtr space, Segment seg,
+    std::vector<std::pair<std::int64_t, std::int64_t>> runs, std::size_t i,
+    StatusCb cb) {
+  if (i >= runs.size()) return cb(Status::ok());
+  SegmentState& st = space->segment(seg);
+  const auto [first, count] = runs[i];
+  const Status se = fs_.seek(st.backing, first * costs_.page_size);
+  SPRITE_CHECK(se.is_ok());
+  fs::Bytes zeros(static_cast<std::size_t>(count * costs_.page_size), 0);
+  fs_.write(st.backing, std::move(zeros),
+            [this, space, seg, runs = std::move(runs), i, first = first,
+             count = count, cb = std::move(cb)](
+                util::Result<std::int64_t> r) mutable {
+              if (!r.is_ok()) return cb(r.status());
+              SegmentState& st = space->segment(seg);
+              for (std::int64_t p = first; p < first + count; ++p) {
+                st.dirty[static_cast<std::size_t>(p)] = false;
+                st.in_backing[static_cast<std::size_t>(p)] = true;
+              }
+              stats_.pages_flushed += count;
+              flush_segment_runs(space, seg, std::move(runs), i + 1,
+                                 std::move(cb));
+            });
+}
+
+void VmManager::invalidate(const SpacePtr& space) {
+  for (auto seg : kAllSegments) {
+    SegmentState& st = space->segment(seg);
+    st.resident.assign(static_cast<std::size_t>(st.pages), false);
+    st.dirty.assign(static_cast<std::size_t>(st.pages), false);
+  }
+}
+
+SpaceDescriptor VmManager::describe(const SpacePtr& space) const {
+  SpaceDescriptor d;
+  d.asid = space->asid();
+  for (auto seg : kAllSegments) {
+    const SegmentState& st = space->segment(seg);
+    auto& out = d.segments[static_cast<std::size_t>(seg)];
+    out.seg = seg;
+    out.pages = st.pages;
+    out.backing_path = st.backing_path;
+    out.resident = st.resident;
+    out.dirty = st.dirty;
+    out.in_backing = st.in_backing;
+    out.in_remote = st.in_remote;
+  }
+  return d;
+}
+
+void VmManager::release_space(SpacePtr space, StatusCb cb) {
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, space,
+           wself = std::weak_ptr<std::function<void(std::size_t)>>(step),
+           cb = std::move(cb)](std::size_t i) mutable {
+    auto step = wself.lock();  // weak self: see open_backings
+    SPRITE_CHECK(step != nullptr);
+    if (i >= kAllSegments.size()) {
+      cb(Status::ok());
+      return;
+    }
+    SegmentState& st = space->segment(kAllSegments[i]);
+    if (!st.backing) {
+      (*step)(i + 1);
+      return;
+    }
+    fs_.close(st.backing, [space, step, i, &st](Status) {
+      st.backing = nullptr;
+      (*step)(i + 1);
+    });
+  };
+  (*step)(0);
+}
+
+void VmManager::destroy_space(SpacePtr space, StatusCb cb) {
+  // Close all paging streams, then unlink the swap files.
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, space,
+           wself = std::weak_ptr<std::function<void(std::size_t)>>(step),
+           cb = std::move(cb)](std::size_t i) mutable {
+    auto step = wself.lock();  // weak self: see open_backings
+    SPRITE_CHECK(step != nullptr);
+    if (i >= kAllSegments.size()) {
+      // Unlink swap files (heap, stack).
+      auto unlink_next =
+          std::make_shared<std::function<void(std::size_t)>>();
+      *unlink_next = [this, space,
+                      wuself = std::weak_ptr<std::function<void(std::size_t)>>(
+                          unlink_next),
+                      cb = std::move(cb)](std::size_t j) mutable {
+        auto unlink_next = wuself.lock();
+        SPRITE_CHECK(unlink_next != nullptr);
+        if (j >= kAllSegments.size()) {
+          cb(Status::ok());
+          return;
+        }
+        const Segment seg = kAllSegments[j];
+        if (seg == Segment::kCode || space->segment(seg).pages == 0) {
+          (*unlink_next)(j + 1);
+          return;
+        }
+        fs_.unlink(space->segment(seg).backing_path,
+                   [unlink_next, j](Status) { (*unlink_next)(j + 1); });
+      };
+      (*unlink_next)(0);
+      return;
+    }
+    const Segment seg = kAllSegments[i];
+    SegmentState& st = space->segment(seg);
+    if (!st.backing) {
+      (*step)(i + 1);
+      return;
+    }
+    fs_.close(st.backing, [space, step, i, &st](Status) {
+      st.backing = nullptr;
+      (*step)(i + 1);
+    });
+  };
+  (*step)(0);
+}
+
+}  // namespace sprite::vm

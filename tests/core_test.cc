@@ -1,0 +1,67 @@
+// Tests for the SpriteCluster facade.
+#include <gtest/gtest.h>
+
+#include "core/sprite.h"
+
+namespace sprite::core {
+namespace {
+
+using proc::ScriptBuilder;
+using sim::Time;
+
+TEST(SpriteClusterTest, SpawnWaitRoundTrip) {
+  SpriteCluster cluster({.workstations = 4});
+  ScriptBuilder b;
+  b.compute(Time::sec(1)).exit(42);
+  cluster.install_program("/bin/w", b.image());
+  auto pid = cluster.spawn(cluster.workstation(0), "/bin/w", {});
+  EXPECT_EQ(cluster.wait(pid), 42);
+}
+
+TEST(SpriteClusterTest, MigrateAndLocate) {
+  SpriteCluster cluster({.workstations = 4});
+  ScriptBuilder b;
+  b.compute(Time::sec(10)).exit(0);
+  cluster.install_program("/bin/w", b.image());
+  auto pid = cluster.spawn(cluster.workstation(0), "/bin/w", {});
+  cluster.run_for(Time::msec(100));
+  EXPECT_EQ(cluster.locate(pid), cluster.workstation(0));
+  ASSERT_TRUE(cluster.migrate(pid, cluster.workstation(2)).is_ok());
+  EXPECT_EQ(cluster.locate(pid), cluster.workstation(2));
+  EXPECT_EQ(cluster.evict(cluster.workstation(2)), 1);
+  EXPECT_EQ(cluster.locate(pid), cluster.workstation(0));
+  EXPECT_EQ(cluster.wait(pid), 0);
+}
+
+TEST(SpriteClusterTest, RequestAndReleaseIdleHosts) {
+  SpriteCluster cluster({.workstations = 5});
+  cluster.warm_up();
+  auto hosts = cluster.request_idle_hosts(cluster.workstation(0), 2);
+  EXPECT_GE(hosts.size(), 1u);
+  for (auto h : hosts) cluster.release_host(cluster.workstation(0), h);
+}
+
+TEST(SpriteClusterTest, LoadSharingCanBeDisabled) {
+  SpriteCluster cluster({.workstations = 2, .enable_load_sharing = false});
+  ScriptBuilder b;
+  b.exit(0);
+  cluster.install_program("/bin/w", b.image());
+  EXPECT_EQ(cluster.wait(cluster.spawn(cluster.workstation(0), "/bin/w", {})),
+            0);
+}
+
+TEST(SpriteClusterTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    SpriteCluster cluster({.workstations = 4, .seed = 1234});
+    ScriptBuilder b;
+    b.compute(Time::msec(700)).exit(0);
+    cluster.install_program("/bin/w", b.image());
+    auto pid = cluster.spawn(cluster.workstation(1), "/bin/w", {});
+    cluster.wait(pid);
+    return cluster.sim().now().us();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sprite::core

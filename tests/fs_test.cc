@@ -1,0 +1,491 @@
+// Tests for the Sprite network file system substrate: naming, block caching,
+// delayed writes, cache consistency (recall / disable), shared access
+// positions, stream migration, and pseudo-devices.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fs/client.h"
+#include "fs/server.h"
+#include "kern/cluster.h"
+#include "sim/time.h"
+
+namespace sprite::fs {
+namespace {
+
+using kern::Cluster;
+using sim::Time;
+using util::Err;
+using util::Status;
+
+Bytes make_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string to_string(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest() : cluster_({.num_workstations = 3, .num_file_servers = 1}) {}
+
+  // Blocking-style wrappers: run the simulation until the callback fires.
+  StreamPtr open_ok(sim::HostId h, const std::string& path, OpenFlags flags) {
+    util::Result<StreamPtr> out(Err::kAgain);
+    bool done = false;
+    cluster_.host(h).fs().open(path, flags, [&](util::Result<StreamPtr> r) {
+      out = std::move(r);
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    EXPECT_TRUE(out.is_ok()) << out.status().to_string();
+    return out.is_ok() ? *out : nullptr;
+  }
+
+  Err open_err(sim::HostId h, const std::string& path, OpenFlags flags) {
+    Err out = Err::kOk;
+    bool done = false;
+    cluster_.host(h).fs().open(path, flags, [&](util::Result<StreamPtr> r) {
+      out = r.err();
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    return out;
+  }
+
+  Bytes read_ok(sim::HostId h, const StreamPtr& s, std::int64_t len) {
+    util::Result<Bytes> out(Err::kAgain);
+    bool done = false;
+    cluster_.host(h).fs().read(s, len, [&](util::Result<Bytes> r) {
+      out = std::move(r);
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    EXPECT_TRUE(out.is_ok()) << out.status().to_string();
+    return out.is_ok() ? *out : Bytes{};
+  }
+
+  std::int64_t write_ok(sim::HostId h, const StreamPtr& s, const Bytes& data) {
+    util::Result<std::int64_t> out(Err::kAgain);
+    bool done = false;
+    cluster_.host(h).fs().write(s, data, [&](util::Result<std::int64_t> r) {
+      out = std::move(r);
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    EXPECT_TRUE(out.is_ok()) << out.status().to_string();
+    return out.is_ok() ? *out : -1;
+  }
+
+  Status close_s(sim::HostId h, const StreamPtr& s) {
+    Status out(Err::kAgain);
+    bool done = false;
+    cluster_.host(h).fs().close(s, [&](Status st) {
+      out = st;
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    return out;
+  }
+
+  Status fsync_s(sim::HostId h, const StreamPtr& s) {
+    Status out(Err::kAgain);
+    bool done = false;
+    cluster_.host(h).fs().fsync(s, [&](Status st) {
+      out = st;
+      done = true;
+    });
+    cluster_.run_until_done([&] { return done; });
+    return out;
+  }
+
+  FsServer& server() { return *cluster_.file_server().fs_server(); }
+  sim::HostId ws(int i) { return cluster_.workstations()[static_cast<std::size_t>(i)]; }
+
+  Cluster cluster_;
+};
+
+TEST_F(FsTest, PrefixRoutingPicksLongestMatch) {
+  auto& fs = cluster_.host(ws(0)).fs();
+  fs.add_prefix("/special", 2);
+  auto r1 = fs.route("/a/b");
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ(*r1, cluster_.file_server().id());
+  auto r2 = fs.route("/special/x");
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(*r2, 2);
+}
+
+TEST_F(FsTest, OpenMissingFileFails) {
+  EXPECT_EQ(open_err(ws(0), "/nope", OpenFlags::read_only()), Err::kNoEnt);
+}
+
+TEST_F(FsTest, CreateWriteReadBackSameHost) {
+  auto s = open_ok(ws(0), "/f", OpenFlags::create_rw());
+  ASSERT_TRUE(s);
+  EXPECT_EQ(write_ok(ws(0), s, make_bytes("hello sprite")), 12);
+  EXPECT_TRUE(cluster_.host(ws(0)).fs().seek(s, 0).is_ok());
+  EXPECT_EQ(to_string(read_ok(ws(0), s, 64)), "hello sprite");
+  EXPECT_TRUE(close_s(ws(0), s).is_ok());
+}
+
+TEST_F(FsTest, DataVisibleAcrossHostsAfterDelayedWriteRecall) {
+  // Host 0 writes through its cache (delayed write, nothing at the server
+  // yet); host 1's open triggers a recall of the dirty blocks [NWO88].
+  auto s0 = open_ok(ws(0), "/shared", OpenFlags::create_rw());
+  write_ok(ws(0), s0, make_bytes("cached-data"));
+  EXPECT_TRUE(close_s(ws(0), s0).is_ok());
+  EXPECT_GT(cluster_.host(ws(0)).fs().dirty_bytes(s0->file), 0);
+
+  auto s1 = open_ok(ws(1), "/shared", OpenFlags::read_only());
+  ASSERT_TRUE(s1);
+  EXPECT_EQ(to_string(read_ok(ws(1), s1, 64)), "cached-data");
+  EXPECT_EQ(server().stats().recalls, 1);
+  // The recall flushed host 0's cache.
+  EXPECT_EQ(cluster_.host(ws(0)).fs().dirty_bytes(s0->file), 0);
+}
+
+TEST_F(FsTest, RepeatedReadsHitClientCache) {
+  server().create_file("/warm", 8192);
+  auto s = open_ok(ws(0), "/warm", OpenFlags::read_only());
+  read_ok(ws(0), s, 8192);
+  const auto misses_before =
+      cluster_.host(ws(0)).fs().stats().cache_miss_blocks;
+  cluster_.host(ws(0)).fs().seek(s, 0);
+  read_ok(ws(0), s, 8192);
+  const auto& st = cluster_.host(ws(0)).fs().stats();
+  EXPECT_EQ(st.cache_miss_blocks, misses_before);  // no new misses
+  EXPECT_GE(st.cache_hit_blocks, 2);
+}
+
+TEST_F(FsTest, DelayedWritebackReachesServerAfterDelay) {
+  auto s = open_ok(ws(0), "/delayed", OpenFlags::create_rw());
+  write_ok(ws(0), s, make_bytes("zzz"));
+  // Before the 30 s delay, the server has no data.
+  auto direct = server().read_direct(s->file, 0, 3);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(direct->size(), 0u);  // size still 0 at server
+  cluster_.sim().run_until(cluster_.sim().now() + Time::sec(31));
+  direct = server().read_direct(s->file, 0, 3);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(to_string(*direct), "zzz");
+}
+
+TEST_F(FsTest, FsyncFlushesImmediately) {
+  auto s = open_ok(ws(0), "/sync", OpenFlags::create_rw());
+  write_ok(ws(0), s, make_bytes("now"));
+  EXPECT_TRUE(fsync_s(ws(0), s).is_ok());
+  auto direct = server().read_direct(s->file, 0, 3);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(to_string(*direct), "now");
+}
+
+TEST_F(FsTest, ConcurrentWriteSharingDisablesCaching) {
+  auto s0 = open_ok(ws(0), "/conc", OpenFlags::create_rw());
+  ASSERT_TRUE(s0->cacheable);
+  // A second host opens for writing while host 0 still has it open.
+  auto s1 = open_ok(ws(1), "/conc", OpenFlags::write_only());
+  ASSERT_TRUE(s1);
+  EXPECT_FALSE(s1->cacheable);
+  EXPECT_FALSE(server().is_cacheable(s0->file));
+  EXPECT_GE(server().stats().cache_disables, 1);
+  // Run a little so host 0 processes its disable callback.
+  cluster_.sim().run_until(cluster_.sim().now() + Time::msec(50));
+  EXPECT_GE(cluster_.host(ws(0)).fs().stats().cache_disables, 1);
+}
+
+TEST_F(FsTest, UncachedWritesAreImmediatelyVisibleToOtherHost) {
+  auto s0 = open_ok(ws(0), "/wshare", OpenFlags::create_rw());
+  auto s1 = open_ok(ws(1), "/wshare", OpenFlags::read_write());
+  cluster_.sim().run_until(cluster_.sim().now() + Time::msec(50));
+  // Both hosts now bypass their caches: writes go straight to the server.
+  write_ok(ws(0), s0, make_bytes("AB"));
+  auto got = read_ok(ws(1), s1, 2);
+  EXPECT_EQ(to_string(got), "AB");
+}
+
+TEST_F(FsTest, CachingReenabledAfterSharingEnds) {
+  auto s0 = open_ok(ws(0), "/reuse", OpenFlags::create_rw());
+  auto s1 = open_ok(ws(1), "/reuse", OpenFlags::write_only());
+  EXPECT_FALSE(s1->cacheable);
+  EXPECT_TRUE(close_s(ws(0), s0).is_ok());
+  EXPECT_TRUE(close_s(ws(1), s1).is_ok());
+  // With no conflicting users left, a fresh open may cache again.
+  auto s2 = open_ok(ws(2), "/reuse", OpenFlags::read_write());
+  EXPECT_TRUE(s2->cacheable);
+}
+
+TEST_F(FsTest, VersionChangeInvalidatesStaleCache) {
+  server().create_file("/ver", 0);
+  auto s0 = open_ok(ws(0), "/ver", OpenFlags::read_write());
+  write_ok(ws(0), s0, make_bytes("old!"));
+  close_s(ws(0), s0);
+
+  // Host 1 rewrites the file (recall flushes host 0, version bumps).
+  auto s1 = open_ok(ws(1), "/ver", OpenFlags::read_write());
+  write_ok(ws(1), s1, make_bytes("new!"));
+  close_s(ws(1), s1);
+
+  // Host 0 reopens: version mismatch must invalidate its old blocks, and the
+  // open recalls host 1's dirty data.
+  auto s2 = open_ok(ws(0), "/ver", OpenFlags::read_only());
+  EXPECT_EQ(to_string(read_ok(ws(0), s2, 4)), "new!");
+}
+
+TEST_F(FsTest, LargeFileRoundTripAcrossHosts) {
+  // Multi-block, multi-RPC-run content integrity.
+  auto s0 = open_ok(ws(0), "/big", OpenFlags::create_rw());
+  Bytes data(50 * 1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>((i * 7 + 3) & 0xff);
+  write_ok(ws(0), s0, data);
+  close_s(ws(0), s0);
+
+  auto s1 = open_ok(ws(1), "/big", OpenFlags::read_only());
+  Bytes got = read_ok(ws(1), s1, static_cast<std::int64_t>(data.size()) + 100);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(FsTest, ReadModifyWritePreservesSurroundingBytes) {
+  // A partial-block write on a host that has not cached the block must
+  // fetch it first (read-modify-write).
+  auto s0 = open_ok(ws(0), "/rmw", OpenFlags::create_rw());
+  Bytes base(6000, 'a');
+  write_ok(ws(0), s0, base);
+  fsync_s(ws(0), s0);
+  close_s(ws(0), s0);
+
+  auto s1 = open_ok(ws(1), "/rmw", OpenFlags::read_write());
+  cluster_.host(ws(1)).fs().seek(s1, 100);
+  write_ok(ws(1), s1, make_bytes("XY"));
+  fsync_s(ws(1), s1);
+
+  auto direct = server().read_direct(s1->file, 0, 6000);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ((*direct)[99], 'a');
+  EXPECT_EQ((*direct)[100], 'X');
+  EXPECT_EQ((*direct)[101], 'Y');
+  EXPECT_EQ((*direct)[102], 'a');
+  EXPECT_EQ((*direct)[5999], 'a');
+}
+
+TEST_F(FsTest, SeekBeyondEofReadsShort) {
+  server().create_file("/short", 10);
+  auto s = open_ok(ws(0), "/short", OpenFlags::read_only());
+  cluster_.host(ws(0)).fs().seek(s, 8);
+  EXPECT_EQ(read_ok(ws(0), s, 100).size(), 2u);
+  EXPECT_EQ(read_ok(ws(0), s, 100).size(), 0u);  // at EOF
+}
+
+TEST_F(FsTest, UnlinkRemovesName) {
+  server().create_file("/gone", 5);
+  bool done = false;
+  Status st(Err::kAgain);
+  cluster_.host(ws(0)).fs().unlink("/gone", [&](Status s) {
+    st = s;
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(open_err(ws(0), "/gone", OpenFlags::read_only()), Err::kNoEnt);
+}
+
+TEST_F(FsTest, MkdirAndNestedCreate) {
+  bool done = false;
+  cluster_.host(ws(0)).fs().mkdir("/dir", [&](Status s) {
+    EXPECT_TRUE(s.is_ok());
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  auto s = open_ok(ws(0), "/dir/file", OpenFlags::create_rw());
+  EXPECT_TRUE(s);
+}
+
+TEST_F(FsTest, StatReportsSizeAndType) {
+  server().mkdir_p("/d");
+  server().create_file("/d/f", 1234);
+  bool done = false;
+  StatResult st;
+  cluster_.host(ws(0)).fs().stat("/d/f", [&](util::Result<StatResult> r) {
+    ASSERT_TRUE(r.is_ok());
+    st = *r;
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  EXPECT_EQ(st.size, 1234);
+  EXPECT_EQ(st.type, FileType::kRegular);
+}
+
+TEST_F(FsTest, TruncateOnOpenClearsContent) {
+  auto s0 = open_ok(ws(0), "/t", OpenFlags::create_rw());
+  write_ok(ws(0), s0, make_bytes("0123456789"));
+  fsync_s(ws(0), s0);
+  close_s(ws(0), s0);
+  OpenFlags trunc = OpenFlags::create_rw();
+  trunc.truncate = true;
+  auto s1 = open_ok(ws(1), "/t", trunc);
+  EXPECT_EQ(read_ok(ws(1), s1, 10).size(), 0u);
+}
+
+TEST_F(FsTest, LookupCostScalesWithPathComponents) {
+  server().mkdir_p("/a/b/c/d");
+  server().create_file("/a/b/c/d/deep", 0);
+  server().create_file("/flat", 0);
+  server().reset_stats();
+  open_ok(ws(0), "/a/b/c/d/deep", OpenFlags::read_only());
+  EXPECT_EQ(server().stats().lookup_components, 5);
+  open_ok(ws(0), "/flat", OpenFlags::read_only());
+  EXPECT_EQ(server().stats().lookup_components, 6);
+}
+
+TEST_F(FsTest, SharedOffsetMovesToServerAndStaysCoherent) {
+  server().create_file("/log", 0);
+  auto s = open_ok(ws(0), "/log", OpenFlags::read_write());
+  write_ok(ws(0), s, make_bytes("aaaa"));  // offset now 4
+
+  // Simulate migration splitting the stream group across hosts 0 and 1.
+  bool done = false;
+  ExportedStream exported;
+  cluster_.host(ws(0)).fs().export_stream(
+      s, ws(1), /*shared_on_source=*/true,
+      [&](util::Result<ExportedStream> r) {
+        ASSERT_TRUE(r.is_ok());
+        exported = *r;
+        done = true;
+      });
+  cluster_.run_until_done([&] { return done; });
+  EXPECT_TRUE(exported.server_offset);
+  EXPECT_TRUE(s->server_offset);  // the copy left behind also goes remote
+  EXPECT_EQ(server().group_offset(s->file, s->group), 4);
+
+  auto s1 = cluster_.host(ws(1)).fs().import_stream(exported);
+  // Writes from both hosts interleave through the server-managed offset.
+  write_ok(ws(1), s1, make_bytes("bb"));
+  write_ok(ws(0), s, make_bytes("cc"));
+  EXPECT_EQ(server().group_offset(s->file, s->group), 8);
+  auto direct = server().read_direct(s->file, 0, 8);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(to_string(*direct), "aaaabbcc");
+}
+
+TEST_F(FsTest, ExportFlushesDirtyDataSoDestinationSeesIt) {
+  auto s = open_ok(ws(0), "/mig", OpenFlags::create_rw());
+  write_ok(ws(0), s, make_bytes("payload"));
+  EXPECT_GT(cluster_.host(ws(0)).fs().dirty_bytes(s->file), 0);
+
+  bool done = false;
+  ExportedStream exported;
+  cluster_.host(ws(0)).fs().export_stream(
+      s, ws(1), /*shared_on_source=*/false,
+      [&](util::Result<ExportedStream> r) {
+        ASSERT_TRUE(r.is_ok());
+        exported = *r;
+        done = true;
+      });
+  cluster_.run_until_done([&] { return done; });
+  EXPECT_EQ(cluster_.host(ws(0)).fs().dirty_bytes(s->file), 0);
+  EXPECT_EQ(server().stats().stream_migrations, 1);
+
+  auto s1 = cluster_.host(ws(1)).fs().import_stream(exported);
+  EXPECT_EQ(s1->offset, 7);         // access position travelled with it
+  EXPECT_FALSE(s1->server_offset);  // sole owner: offset stays local
+  cluster_.host(ws(1)).fs().seek(s1, 0);
+  EXPECT_EQ(to_string(read_ok(ws(1), s1, 7)), "payload");
+}
+
+TEST_F(FsTest, MigrationCreatingWriteSharingDisablesCaching) {
+  // A writer and a reader on the SAME host share nothing across hosts, so
+  // caching stays enabled. Migrating the writer stream to another host
+  // creates cross-host write sharing, which must disable caching.
+  auto w = open_ok(ws(0), "/x", OpenFlags::create_rw());
+  auto r = open_ok(ws(0), "/x", OpenFlags::read_only());
+  ASSERT_TRUE(w->cacheable);
+  ASSERT_TRUE(r->cacheable);
+  ASSERT_TRUE(server().is_cacheable(w->file));
+
+  bool done = false;
+  ExportedStream exported;
+  cluster_.host(ws(0)).fs().export_stream(
+      w, ws(1), false, [&](util::Result<ExportedStream> res) {
+        ASSERT_TRUE(res.is_ok());
+        exported = *res;
+        done = true;
+      });
+  cluster_.run_until_done([&] { return done; });
+  // Writer now on 1, reader still on 0 -> write-shared.
+  EXPECT_FALSE(exported.cacheable);
+  EXPECT_FALSE(server().is_cacheable(w->file));
+}
+
+TEST_F(FsTest, PdevRequestResponseAcrossHosts) {
+  // A server process on workstation 2 registers a pseudo-device; host 0
+  // opens it and transacts.
+  auto& owner = cluster_.host(ws(2));
+  const int tag = owner.pdev().register_server(
+      [](const Bytes& req, std::function<void(util::Result<Bytes>)> reply) {
+        Bytes out = req;
+        for (auto& b : out) b = static_cast<std::uint8_t>(b + 1);
+        reply(out);
+      });
+  server().mkdir_p("/dev");
+  ASSERT_TRUE(server().create_pdev("/dev/svc", ws(2), tag).is_ok());
+
+  auto s = open_ok(ws(0), "/dev/svc", OpenFlags::read_write());
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->type, FileType::kPseudoDevice);
+
+  bool done = false;
+  Bytes rep;
+  cluster_.host(ws(0)).fs().pdev_call(s, make_bytes("abc"),
+                                      [&](util::Result<Bytes> r) {
+                                        ASSERT_TRUE(r.is_ok());
+                                        rep = *r;
+                                        done = true;
+                                      });
+  cluster_.run_until_done([&] { return done; });
+  EXPECT_EQ(to_string(rep), "bcd");
+}
+
+TEST_F(FsTest, PdevCallIncludesWakeupLatency) {
+  auto& owner = cluster_.host(ws(1));
+  const int tag = owner.pdev().register_server(
+      [](const Bytes&, std::function<void(util::Result<Bytes>)> reply) {
+        reply(Bytes{});
+      });
+  server().mkdir_p("/dev");
+  ASSERT_TRUE(server().create_pdev("/dev/slow", ws(1), tag).is_ok());
+  auto s = open_ok(ws(0), "/dev/slow", OpenFlags::read_write());
+  const Time start = cluster_.sim().now();
+  bool done = false;
+  cluster_.host(ws(0)).fs().pdev_call(s, {}, [&](util::Result<Bytes>) {
+    done = true;
+  });
+  cluster_.run_until_done([&] { return done; });
+  const double ms = (cluster_.sim().now() - start).ms();
+  // Two RPC legs + 10 ms wakeup + ~4 ms service CPU.
+  EXPECT_GT(ms, 14.0);
+  EXPECT_LT(ms, 40.0);
+}
+
+TEST_F(FsTest, NoCacheStreamsBypassClientCache) {
+  server().create_file("/swapfile", 64 * 1024);
+  OpenFlags flags = OpenFlags::read_write();
+  flags.no_cache = true;
+  auto s = open_ok(ws(0), "/swapfile", flags);
+  read_ok(ws(0), s, 16 * 1024);
+  const auto& st = cluster_.host(ws(0)).fs().stats();
+  EXPECT_EQ(st.cache_hit_blocks + st.cache_miss_blocks, 0);
+  EXPECT_GE(st.remote_reads, 1);
+}
+
+TEST_F(FsTest, BulkFlushRateNearCalibration) {
+  // E1's per-MB figure: flushing 1 MB of dirty data through the FS should
+  // take roughly 480 ms (we accept 380-700 ms).
+  auto s = open_ok(ws(0), "/bulk", OpenFlags::create_rw());
+  Bytes mb(1 << 20, 0x5a);
+  write_ok(ws(0), s, mb);
+  const Time start = cluster_.sim().now();
+  EXPECT_TRUE(fsync_s(ws(0), s).is_ok());
+  const double ms = (cluster_.sim().now() - start).ms();
+  EXPECT_GT(ms, 380.0);
+  EXPECT_LT(ms, 700.0);
+}
+
+}  // namespace
+}  // namespace sprite::fs

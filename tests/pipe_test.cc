@@ -1,0 +1,274 @@
+// Tests for pipes: blocking reads/writes through the server-resident
+// buffer, EOF/EPIPE semantics, fork-shared ends, and — the point of the
+// design — endpoints that migrate while the stream flows.
+#include <gtest/gtest.h>
+
+#include "core/sprite.h"
+#include "migration/manager.h"
+#include "proc/script.h"
+#include "proc/table.h"
+
+namespace sprite::fs {
+namespace {
+
+using core::SpriteCluster;
+using proc::Action;
+using proc::ScriptBuilder;
+using proc::ScriptProgram;
+using sim::Time;
+
+Bytes make_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// Kernel-level helpers driving FsClient directly.
+class PipeTest : public ::testing::Test {
+ protected:
+  PipeTest() : cluster_({.workstations = 3, .seed = 201}) {}
+
+  std::pair<StreamPtr, StreamPtr> make_pipe(int ws) {
+    std::pair<StreamPtr, StreamPtr> out;
+    bool done = false;
+    cluster_.host(cluster_.workstation(ws))
+        .fs()
+        .create_pipe([&](util::Result<std::pair<StreamPtr, StreamPtr>> r) {
+          ASSERT_TRUE(r.is_ok());
+          out = *r;
+          done = true;
+        });
+    cluster_.kernel().run_until_done([&] { return done; });
+    return out;
+  }
+
+  SpriteCluster cluster_;
+};
+
+TEST_F(PipeTest, WriteThenReadRoundTrip) {
+  auto [rd, wr] = make_pipe(0);
+  bool wrote = false;
+  cluster_.host(cluster_.workstation(0))
+      .fs()
+      .write(wr, make_bytes("through the pipe"),
+             [&](util::Result<std::int64_t> r) {
+               ASSERT_TRUE(r.is_ok());
+               EXPECT_EQ(*r, 16);
+               wrote = true;
+             });
+  cluster_.kernel().run_until_done([&] { return wrote; });
+
+  bool read_done = false;
+  cluster_.host(cluster_.workstation(0))
+      .fs()
+      .read(rd, 64, [&](util::Result<Bytes> r) {
+        ASSERT_TRUE(r.is_ok());
+        EXPECT_EQ(std::string(r->begin(), r->end()), "through the pipe");
+        read_done = true;
+      });
+  cluster_.kernel().run_until_done([&] { return read_done; });
+}
+
+TEST_F(PipeTest, ReadBlocksUntilDataArrives) {
+  auto [rd, wr] = make_pipe(0);
+  bool read_done = false;
+  Time completed;
+  cluster_.host(cluster_.workstation(0))
+      .fs()
+      .read(rd, 16, [&](util::Result<Bytes> r) {
+        ASSERT_TRUE(r.is_ok());
+        EXPECT_EQ(std::string(r->begin(), r->end()), "late");
+        completed = cluster_.sim().now();
+        read_done = true;
+      });
+  // Nothing to read yet: the op parks.
+  cluster_.run_for(Time::sec(2));
+  EXPECT_FALSE(read_done);
+
+  cluster_.host(cluster_.workstation(1));  // (another host could write too)
+  cluster_.host(cluster_.workstation(0))
+      .fs()
+      .write(wr, make_bytes("late"), [](util::Result<std::int64_t>) {});
+  cluster_.kernel().run_until_done([&] { return read_done; });
+  EXPECT_GE(completed.s(), 2.0);
+}
+
+TEST_F(PipeTest, ReaderSeesEofAfterWriterCloses) {
+  auto [rd, wr] = make_pipe(0);
+  auto& fs = cluster_.host(cluster_.workstation(0)).fs();
+  bool closed = false;
+  fs.close(wr, [&](util::Status) { closed = true; });
+  cluster_.kernel().run_until_done([&] { return closed; });
+
+  bool read_done = false;
+  fs.read(rd, 16, [&](util::Result<Bytes> r) {
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_TRUE(r->empty());  // EOF
+    read_done = true;
+  });
+  cluster_.kernel().run_until_done([&] { return read_done; });
+}
+
+TEST_F(PipeTest, WriterGetsEpipeWithoutReaders) {
+  auto [rd, wr] = make_pipe(0);
+  auto& fs = cluster_.host(cluster_.workstation(0)).fs();
+  bool closed = false;
+  fs.close(rd, [&](util::Status) { closed = true; });
+  cluster_.kernel().run_until_done([&] { return closed; });
+
+  bool write_done = false;
+  fs.write(wr, make_bytes("x"), [&](util::Result<std::int64_t> r) {
+    EXPECT_EQ(r.err(), util::Err::kPipe);
+    write_done = true;
+  });
+  cluster_.kernel().run_until_done([&] { return write_done; });
+}
+
+TEST_F(PipeTest, WriterBlocksWhenFullUntilReaderDrains) {
+  auto [rd, wr] = make_pipe(0);
+  auto& fs = cluster_.host(cluster_.workstation(0)).fs();
+  const auto cap = cluster_.kernel().costs().pipe_capacity;
+
+  // Fill past capacity: the second write must park.
+  bool first = false, second = false;
+  fs.write(wr, Bytes(static_cast<std::size_t>(cap), 'a'),
+           [&](util::Result<std::int64_t> r) {
+             ASSERT_TRUE(r.is_ok());
+             first = true;
+           });
+  cluster_.kernel().run_until_done([&] { return first; });
+  fs.write(wr, make_bytes("overflow"), [&](util::Result<std::int64_t> r) {
+    ASSERT_TRUE(r.is_ok());
+    second = true;
+  });
+  cluster_.run_for(Time::sec(1));
+  EXPECT_FALSE(second);  // parked on the full buffer
+
+  // Draining unblocks it.
+  bool drained = false;
+  fs.read(rd, cap, [&](util::Result<Bytes> r) {
+    ASSERT_TRUE(r.is_ok());
+    drained = true;
+  });
+  cluster_.kernel().run_until_done([&] { return drained && second; });
+}
+
+TEST(PipeProcessTest, ForkPipelineAcrossMigration) {
+  // The canonical shell pattern, plus migration: parent creates a pipe and
+  // forks; the child produces data; the parent consumes. Mid-stream the
+  // CHILD is migrated to another host — the parent cannot tell.
+  SpriteCluster cluster({.workstations = 3, .seed = 202});
+  ScriptBuilder b;
+  b.act(proc::SysPipe{});
+  b.step([](ScriptProgram::Ctx& c) {
+    c.locals["rd"] = c.view->rv;
+    c.locals["wr"] = c.view->aux;
+    return proc::SysFork{};
+  });
+  b.step([](ScriptProgram::Ctx& c) {
+    c.locals["is_child"] = c.view->is_child ? 1 : 0;
+    if (c.locals["is_child"]) {
+      // Producer: close the read end, then emit 8 chunks with pauses (the
+      // migration happens during one of them).
+      return Action{proc::SysClose{static_cast<int>(c.locals["rd"])}};
+    }
+    // Consumer: close the write end and start reading.
+    return Action{proc::SysClose{static_cast<int>(c.locals["wr"])}};
+  });
+  const int child_loop = b.next_index();
+  b.step([child_loop](ScriptProgram::Ctx& c) -> Action {
+    if (c.locals["is_child"]) {
+      if (c.locals["i"] >= 8) return proc::SysExit{0};
+      c.jump(child_loop + 1);
+      return proc::Pause{Time::msec(300)};
+    }
+    // Parent: read until EOF.
+    c.jump(child_loop + 2);
+    return proc::SysRead{static_cast<int>(c.locals["rd"]), 64};
+  });
+  // child_loop+1: child writes a chunk and loops.
+  b.step([child_loop](ScriptProgram::Ctx& c) -> Action {
+    const std::string chunk = "chunk" + std::to_string(c.locals["i"]++) + ";";
+    c.jump(child_loop);
+    return proc::SysWrite{static_cast<int>(c.locals["wr"]),
+                          fs::Bytes(chunk.begin(), chunk.end()), 0};
+  });
+  // child_loop+2: parent accumulates until EOF, then verifies.
+  b.step([child_loop](ScriptProgram::Ctx& c) -> Action {
+    if (!c.view->data.empty()) {
+      c.note(std::string(c.view->data.begin(), c.view->data.end()));
+      c.jump(child_loop);
+      return proc::Compute{Time::zero()};
+    }
+    std::string all;
+    for (const auto& t : c.trace) all += t;
+    std::string expect;
+    for (int i = 0; i < 8; ++i) expect += "chunk" + std::to_string(i) + ";";
+    return proc::SysExit{all == expect ? 0 : 1};
+  });
+
+  cluster.install_program("/bin/pipeline", b.image());
+  const auto pid = cluster.spawn(cluster.workstation(0), "/bin/pipeline", {});
+
+  // Find the child (the other process on ws0) and migrate it mid-stream.
+  cluster.run_for(Time::msec(900));
+  proc::Pid child = proc::kInvalidPid;
+  for (const auto& pcb :
+       cluster.host(cluster.workstation(0)).procs().local_processes()) {
+    if (pcb->pid != pid) child = pcb->pid;
+  }
+  ASSERT_NE(child, proc::kInvalidPid);
+  ASSERT_TRUE(cluster.migrate(child, cluster.workstation(2)).is_ok());
+
+  EXPECT_EQ(cluster.wait(child), 0);
+  EXPECT_EQ(cluster.wait(pid), 0) << "parent saw every chunk, in order, "
+                                     "despite the producer migrating";
+}
+
+TEST(PipeProcessTest, BothEndsMigrateAndDataStillFlows) {
+  SpriteCluster cluster({.workstations = 4, .seed = 203});
+  // Producer and consumer as separate kernel-driven streams.
+  auto& fs0 = cluster.host(cluster.workstation(0)).fs();
+  std::pair<StreamPtr, StreamPtr> pipe_ends;
+  bool made = false;
+  fs0.create_pipe([&](util::Result<std::pair<StreamPtr, StreamPtr>> r) {
+    ASSERT_TRUE(r.is_ok());
+    pipe_ends = *r;
+    made = true;
+  });
+  cluster.kernel().run_until_done([&] { return made; });
+
+  // Move the read end to ws1 and the write end to ws2.
+  ExportedStream rd_exp, wr_exp;
+  bool e1 = false, e2 = false;
+  fs0.export_stream(pipe_ends.first, cluster.workstation(1), false,
+                    [&](util::Result<ExportedStream> r) {
+                      ASSERT_TRUE(r.is_ok());
+                      rd_exp = *r;
+                      e1 = true;
+                    });
+  cluster.kernel().run_until_done([&] { return e1; });
+  fs0.export_stream(pipe_ends.second, cluster.workstation(2), false,
+                    [&](util::Result<ExportedStream> r) {
+                      ASSERT_TRUE(r.is_ok());
+                      wr_exp = *r;
+                      e2 = true;
+                    });
+  cluster.kernel().run_until_done([&] { return e2; });
+
+  auto rd = cluster.host(cluster.workstation(1)).fs().import_stream(rd_exp);
+  auto wr = cluster.host(cluster.workstation(2)).fs().import_stream(wr_exp);
+
+  bool read_done = false;
+  cluster.host(cluster.workstation(1))
+      .fs()
+      .read(rd, 64, [&](util::Result<Bytes> r) {
+        ASSERT_TRUE(r.is_ok());
+        EXPECT_EQ(std::string(r->begin(), r->end()), "cross-host");
+        read_done = true;
+      });
+  cluster.run_for(Time::msec(100));  // reader parks on the empty pipe
+  cluster.host(cluster.workstation(2))
+      .fs()
+      .write(wr, make_bytes("cross-host"), [](util::Result<std::int64_t>) {});
+  cluster.kernel().run_until_done([&] { return read_done; });
+}
+
+}  // namespace
+}  // namespace sprite::fs

@@ -1,0 +1,445 @@
+// Property-based sweeps: randomized (but seeded and deterministic) sequences
+// exercising cross-module invariants.
+//
+//   * FS sequential consistency: a random cross-host op sequence always
+//     reads what a simple reference model says it should — through caches,
+//     delayed writes, recalls, cache disabling, and writebacks.
+//   * Migration transparency: a process's observable output is identical no
+//     matter how many times (or with which strategy) it migrates.
+//   * Scheduler work conservation.
+//   * RPC liveness under host churn: calls complete or fail, never hang.
+//   * Gossip convergence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sprite.h"
+#include "kern/cluster.h"
+#include "loadshare/facility.h"
+#include "migration/manager.h"
+#include "proc/script.h"
+#include "proc/table.h"
+#include "util/rng.h"
+
+namespace sprite {
+namespace {
+
+using core::SpriteCluster;
+using kern::Cluster;
+using proc::ScriptBuilder;
+using proc::ScriptProgram;
+using sim::HostId;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// FS sequential consistency vs a reference model
+// ---------------------------------------------------------------------------
+
+class FsConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FsConsistencyProperty, RandomCrossHostOpsMatchReferenceModel) {
+  Cluster cluster({.num_workstations = 3, .num_file_servers = 1,
+                   .seed = GetParam()});
+  util::Rng rng(GetParam() * 7919 + 1);
+  const auto ws = cluster.workstations();
+
+  // Reference model: the file is a byte array; ops are sequential, so
+  // read-after-write must hold across hosts (the consistency protocol's
+  // whole job).
+  std::vector<std::uint8_t> model;
+  cluster.file_server().fs_server()->create_file("/prop", 0);
+
+  // One open stream per host, lazily created.
+  std::map<HostId, fs::StreamPtr> streams;
+  auto stream_for = [&](HostId h) -> fs::StreamPtr {
+    auto it = streams.find(h);
+    if (it != streams.end()) return it->second;
+    fs::StreamPtr out;
+    bool done = false;
+    cluster.host(h).fs().open("/prop", fs::OpenFlags::read_write(),
+                              [&](util::Result<fs::StreamPtr> r) {
+                                ASSERT_TRUE(r.is_ok());
+                                out = *r;
+                                done = true;
+                              });
+    cluster.run_until_done([&] { return done; });
+    streams[h] = out;
+    return out;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const HostId h = ws[rng.index(ws.size())];
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    if (op < 4) {
+      // Write random bytes at a random offset.
+      auto s = stream_for(h);
+      const std::int64_t off = rng.uniform_int(0, 12000);
+      fs::Bytes data(static_cast<std::size_t>(rng.uniform_int(1, 3000)));
+      for (auto& b : data)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      ASSERT_TRUE(cluster.host(h).fs().seek(s, off).is_ok());
+      bool done = false;
+      cluster.host(h).fs().write(s, data,
+                                 [&](util::Result<std::int64_t> r) {
+                                   ASSERT_TRUE(r.is_ok());
+                                   done = true;
+                                 });
+      cluster.run_until_done([&] { return done; });
+      if (model.size() < static_cast<std::size_t>(off) + data.size())
+        model.resize(static_cast<std::size_t>(off) + data.size(), 0);
+      std::copy(data.begin(), data.end(),
+                model.begin() + static_cast<std::ptrdiff_t>(off));
+    } else if (op < 8) {
+      // Read a random range and compare against the model.
+      auto s = stream_for(h);
+      const std::int64_t off = rng.uniform_int(0, 14000);
+      const std::int64_t len = rng.uniform_int(1, 4000);
+      ASSERT_TRUE(cluster.host(h).fs().seek(s, off).is_ok());
+      bool done = false;
+      cluster.host(h).fs().read(s, len, [&](util::Result<fs::Bytes> r) {
+        ASSERT_TRUE(r.is_ok());
+        // Expected: bytes from the model, clipped at model size.
+        const auto msize = static_cast<std::int64_t>(model.size());
+        const std::int64_t expect_len =
+            std::max<std::int64_t>(0, std::min(len, msize - off));
+        ASSERT_EQ(static_cast<std::int64_t>(r->size()), expect_len)
+            << "step " << step << " host " << h << " off " << off;
+        for (std::int64_t i = 0; i < expect_len; ++i) {
+          ASSERT_EQ((*r)[static_cast<std::size_t>(i)],
+                    model[static_cast<std::size_t>(off + i)])
+              << "step " << step << " byte " << i;
+        }
+        done = true;
+      });
+      cluster.run_until_done([&] { return done; });
+    } else if (op == 8) {
+      // Close the host's stream (it will reopen later).
+      auto it = streams.find(h);
+      if (it != streams.end()) {
+        bool done = false;
+        cluster.host(h).fs().close(it->second,
+                                   [&](util::Status) { done = true; });
+        cluster.run_until_done([&] { return done; });
+        streams.erase(it);
+      }
+    } else {
+      // Let delayed writebacks fire.
+      cluster.sim().run_until(cluster.sim().now() + Time::sec(31));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsConsistencyProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------------
+// Migration transparency under random migration chains
+// ---------------------------------------------------------------------------
+
+struct ChainParam {
+  std::uint64_t seed;
+  mig::VmStrategy strategy;
+};
+
+class MigrationChainProperty : public ::testing::TestWithParam<ChainParam> {};
+
+TEST_P(MigrationChainProperty, OutputIdenticalUnderRandomMigrationChains) {
+  // The program interleaves identity queries, memory writes, file appends,
+  // and sleeps; we run it once undisturbed and once migrated at random
+  // points, and require byte-identical output files.
+  auto build = [](const std::string& outfile) {
+    ScriptBuilder b;
+    b.act(proc::SysOpen{outfile, fs::OpenFlags::create_rw()});
+    b.step([](ScriptProgram::Ctx& c) {
+      c.locals["fd"] = c.view->rv;
+      return proc::SysGetPid{};
+    });
+    for (int i = 0; i < 6; ++i) {
+      b.step([i](ScriptProgram::Ctx& c) {
+        (void)i;
+        c.locals["acc"] = c.locals["acc"] * 31 + c.view->rv;
+        return proc::Touch{vm::Segment::kHeap, 0, 32, true};
+      });
+      b.act(proc::Pause{Time::msec(400)});
+      b.step([](ScriptProgram::Ctx& c) {
+        const std::string line =
+            "acc=" + std::to_string(c.locals["acc"]) + ";";
+        return proc::SysWrite{static_cast<int>(c.locals["fd"]),
+                              fs::Bytes(line.begin(), line.end()), 0};
+      });
+      b.act(proc::SysGetHostName{});
+    }
+    b.step([](ScriptProgram::Ctx& c) {
+      const std::string line = "host=" + c.view->text;
+      return proc::SysWrite{static_cast<int>(c.locals["fd"]),
+                            fs::Bytes(line.begin(), line.end()), 0};
+    });
+    b.step([](ScriptProgram::Ctx& c) {
+      return proc::SysFsync{static_cast<int>(c.locals["fd"])};
+    });
+    b.exit(0);
+    return b;
+  };
+
+  auto read_out = [](SpriteCluster& cluster, const std::string& path) {
+    auto st = cluster.kernel().file_server().fs_server()->stat_path(path);
+    if (!st.is_ok()) return std::string("<missing>");
+    auto d = cluster.kernel().file_server().fs_server()->read_direct(
+        st->id, 0, st->size);
+    return std::string(d->begin(), d->end());
+  };
+
+  const auto param = GetParam();
+
+  // Baseline run.
+  std::string baseline;
+  {
+    SpriteCluster cluster({.workstations = 4, .seed = 100});
+    auto prog = build("/base");
+    cluster.install_program("/bin/chain", prog.image(8, 64, 4));
+    const auto pid = cluster.spawn(cluster.workstation(0), "/bin/chain", {});
+    EXPECT_EQ(cluster.wait(pid), 0);
+    baseline = read_out(cluster, "/base");
+    ASSERT_NE(baseline, "<missing>");
+  }
+
+  // Migrated run: same program, random migration chain.
+  {
+    SpriteCluster cluster({.workstations = 4, .seed = 100});
+    for (int i = 0; i < 4; ++i)
+      cluster.host(cluster.workstation(i)).mig().set_strategy(param.strategy);
+    auto prog = build("/base");  // same output path on a fresh cluster
+    cluster.install_program("/bin/chain", prog.image(8, 64, 4));
+    const auto pid = cluster.spawn(cluster.workstation(0), "/bin/chain", {});
+
+    util::Rng rng(param.seed);
+    int moved = 0;
+    for (int hop = 0; hop < 5; ++hop) {
+      cluster.run_for(Time::msec(rng.uniform_int(150, 700)));
+      const auto where = cluster.locate(pid);
+      if (where == sim::kInvalidHost) break;  // already exited
+      HostId target = cluster.workstation(
+          static_cast<int>(rng.index(4)));
+      if (target == where) continue;
+      auto st = cluster.migrate(pid, target);
+      if (st.is_ok()) ++moved;
+    }
+    EXPECT_EQ(cluster.wait(pid), 0);
+    EXPECT_EQ(read_out(cluster, "/base"), baseline)
+        << "strategy " << mig::strategy_name(param.strategy) << " after "
+        << moved << " migrations";
+    EXPECT_GE(moved, 1);  // the chain did something
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, MigrationChainProperty,
+    ::testing::Values(
+        ChainParam{11, mig::VmStrategy::kSpriteFlush},
+        ChainParam{12, mig::VmStrategy::kSpriteFlush},
+        ChainParam{13, mig::VmStrategy::kWholeCopy},
+        ChainParam{14, mig::VmStrategy::kWholeCopy},
+        ChainParam{15, mig::VmStrategy::kCopyOnRef},
+        ChainParam{16, mig::VmStrategy::kCopyOnRef},
+        ChainParam{17, mig::VmStrategy::kPreCopy}),
+    [](const ::testing::TestParamInfo<ChainParam>& info) {
+      std::string n = mig::strategy_name(info.param.strategy);
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n + "_seed" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Scheduler work conservation
+// ---------------------------------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, WorkConservingUnderRandomDemands) {
+  sim::Simulator sim(GetParam());
+  sim::Costs costs;
+  sim::Cpu cpu(sim, costs);
+  util::Rng rng(GetParam());
+
+  double total_ms = 0;
+  int completed = 0;
+  const int n = 20;
+  std::vector<double> done_at(n);
+  for (int i = 0; i < n; ++i) {
+    // Whole microseconds so accumulation matches the clock exactly
+    // (Time::msec would truncate fractional microseconds).
+    const std::int64_t demand_us = rng.uniform_int(1000, 400000);
+    const double demand_ms = static_cast<double>(demand_us) / 1000.0;
+    total_ms += demand_ms;
+    cpu.submit(sim::JobClass::kUser, Time::usec(demand_us),
+               [&, i] {
+                 done_at[static_cast<std::size_t>(i)] = sim.now().ms();
+                 ++completed;
+               });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  // Work conservation: the CPU never idles while jobs are runnable, so the
+  // last completion is exactly the total demand.
+  double last = 0;
+  for (double d : done_at) last = std::max(last, d);
+  EXPECT_NEAR(last, total_ms, 0.001);
+  // And nobody finishes before its own demand could have been served.
+  EXPECT_NEAR(cpu.busy_time(sim::JobClass::kUser).ms(), total_ms, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+// ---------------------------------------------------------------------------
+// RPC liveness under churn
+// ---------------------------------------------------------------------------
+
+class RpcChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RpcChurnProperty, CallsCompleteOrFailNeverHang) {
+  Cluster cluster({.num_workstations = 5, .num_file_servers = 1,
+                   .seed = GetParam()});
+  util::Rng rng(GetParam() * 31 + 7);
+  const auto ws = cluster.workstations();
+
+  int outcomes = 0;
+  const int kCalls = 150;
+  // Random churn: hosts flap during the storm.
+  for (int i = 0; i < 12; ++i) {
+    const HostId victim = ws[rng.index(ws.size())];
+    const Time when = Time::msec(rng.uniform_int(0, 4000));
+    const bool up = rng.bernoulli(0.5);
+    cluster.sim().at(when, [&cluster, victim, up] {
+      cluster.net().set_host_up(victim, up);
+    });
+  }
+  // Everyone back up at the end so straggler retries can finish.
+  cluster.sim().at(Time::sec(5), [&cluster, &ws] {
+    for (HostId h : ws) cluster.net().set_host_up(h, true);
+  });
+
+  for (int i = 0; i < kCalls; ++i) {
+    const HostId from = ws[rng.index(ws.size())];
+    const HostId to = ws[rng.index(ws.size())];
+    const Time when = Time::msec(rng.uniform_int(0, 4000));
+    cluster.sim().at(when, [&cluster, &outcomes, from, to] {
+      cluster.host(from).rpc().call(
+          to, rpc::ServiceId::kProc,
+          static_cast<int>(proc::ProcOp::kGetHostName), nullptr,
+          [&outcomes](util::Result<rpc::Reply>) { ++outcomes; });
+    });
+  }
+  cluster.run_until_done([&] { return outcomes == kCalls; });
+  EXPECT_EQ(outcomes, kCalls);  // every call resolved one way or the other
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpcChurnProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u));
+
+// ---------------------------------------------------------------------------
+// Gossip convergence
+// ---------------------------------------------------------------------------
+
+class GossipProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GossipProperty, VectorsConvergeToFullMembership) {
+  Cluster cluster({.num_workstations = 10, .num_file_servers = 1,
+                   .seed = GetParam()});
+  ls::Facility facility(cluster, ls::Arch::kProbabilistic);
+  cluster.sim().run_until(Time::sec(60));
+  const auto ws = cluster.workstations();
+  for (HostId h : ws) {
+    const auto& vec = facility.node(h).load_vector();
+    // Every host should know about (nearly) every other idle host.
+    EXPECT_GE(vec.size(), ws.size() - 2)
+        << "host " << h << " knows only " << vec.size();
+    const Time now = cluster.sim().now();
+    for (const auto& [peer, entry] : vec) {
+      EXPECT_LE((now - entry.stamped).s(),
+                cluster.costs().ls_entry_max_age.s() + 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipProperty,
+                         ::testing::Values(41u, 42u, 43u));
+
+// ---------------------------------------------------------------------------
+// migd crash-restart recovery
+// ---------------------------------------------------------------------------
+
+TEST(MigdRecoveryTest, RestartRepopulatesAndAvoidsDoubleGrants) {
+  Cluster cluster({.num_workstations = 5, .num_file_servers = 1, .seed = 61});
+  ls::Facility facility(cluster, ls::Arch::kCentral);
+  cluster.sim().run_until(Time::sec(45));
+  const auto ws = cluster.workstations();
+
+  // Put real (load-producing) work on a granted host.
+  proc::ScriptBuilder b;
+  b.compute(Time::minutes(10)).exit(0);
+  SPRITE_CHECK(cluster.install_program("/bin/busy", b.image()).is_ok());
+
+  std::vector<HostId> granted;
+  bool d1 = false;
+  facility.selector(ws[0]).request_hosts(1, [&](std::vector<HostId> h) {
+    granted = std::move(h);
+    d1 = true;
+  });
+  cluster.run_until_done([&] { return d1; });
+  ASSERT_EQ(granted.size(), 1u);
+
+  bool spawned = false;
+  proc::Pid pid = proc::kInvalidPid;
+  cluster.host(ws[0]).procs().spawn("/bin/busy", {},
+                                    [&](util::Result<proc::Pid> r) {
+                                      pid = *r;
+                                      spawned = true;
+                                    });
+  cluster.run_until_done([&] { return spawned; });
+  cluster.sim().run_until(cluster.sim().now() + Time::msec(200));
+  auto pcb = cluster.host(ws[0]).procs().find(pid);
+  ASSERT_TRUE(pcb != nullptr);
+  util::Status mst(util::Err::kAgain);
+  bool md = false;
+  cluster.host(ws[0]).mig().migrate(pcb, granted[0], [&](util::Status s) {
+    mst = s;
+    md = true;
+  });
+  cluster.run_until_done([&] { return md; });
+  ASSERT_TRUE(mst.is_ok());
+
+  // migd crashes and restarts: all soft state gone.
+  facility.daemon()->restart();
+  EXPECT_TRUE(facility.daemon()->table().empty());
+
+  // Immediately after restart nothing is known, so nothing is granted.
+  bool d2 = false;
+  std::vector<HostId> after_crash;
+  facility.selector(ws[1]).request_hosts(5, [&](std::vector<HostId> h) {
+    after_crash = std::move(h);
+    d2 = true;
+  });
+  cluster.run_until_done([&] { return d2; });
+  EXPECT_TRUE(after_crash.empty());
+
+  // Announcements repopulate within the update period; the host running the
+  // granted (foreign) work announces itself busy, so it is never
+  // double-granted despite the lost assignment table.
+  cluster.sim().run_until(cluster.sim().now() + Time::sec(90));
+  bool d3 = false;
+  std::vector<HostId> recovered;
+  facility.selector(ws[1]).request_hosts(5, [&](std::vector<HostId> h) {
+    recovered = std::move(h);
+    d3 = true;
+  });
+  cluster.run_until_done([&] { return d3; });
+  EXPECT_GE(recovered.size(), 2u);
+  for (HostId h : recovered) EXPECT_NE(h, granted[0]);
+}
+
+}  // namespace
+}  // namespace sprite
