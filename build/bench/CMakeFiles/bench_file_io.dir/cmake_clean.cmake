@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_io.dir/bench_file_io.cc.o"
+  "CMakeFiles/bench_file_io.dir/bench_file_io.cc.o.d"
+  "bench_file_io"
+  "bench_file_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

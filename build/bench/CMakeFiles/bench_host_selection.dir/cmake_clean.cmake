@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_selection.dir/bench_host_selection.cc.o"
+  "CMakeFiles/bench_host_selection.dir/bench_host_selection.cc.o.d"
+  "bench_host_selection"
+  "bench_host_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

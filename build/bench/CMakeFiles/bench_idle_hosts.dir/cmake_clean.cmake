@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idle_hosts.dir/bench_idle_hosts.cc.o"
+  "CMakeFiles/bench_idle_hosts.dir/bench_idle_hosts.cc.o.d"
+  "bench_idle_hosts"
+  "bench_idle_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idle_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

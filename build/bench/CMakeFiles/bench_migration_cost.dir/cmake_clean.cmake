@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_migration_cost.dir/bench_migration_cost.cc.o"
+  "CMakeFiles/bench_migration_cost.dir/bench_migration_cost.cc.o.d"
+  "bench_migration_cost"
+  "bench_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

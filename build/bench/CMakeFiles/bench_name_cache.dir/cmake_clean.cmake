@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_name_cache.dir/bench_name_cache.cc.o"
+  "CMakeFiles/bench_name_cache.dir/bench_name_cache.cc.o.d"
+  "bench_name_cache"
+  "bench_name_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_name_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmake_speedup.dir/bench_pmake_speedup.cc.o"
+  "CMakeFiles/bench_pmake_speedup.dir/bench_pmake_speedup.cc.o.d"
+  "bench_pmake_speedup"
+  "bench_pmake_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmake_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection_archs.dir/bench_selection_archs.cc.o"
+  "CMakeFiles/bench_selection_archs.dir/bench_selection_archs.cc.o.d"
+  "bench_selection_archs"
+  "bench_selection_archs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection_archs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

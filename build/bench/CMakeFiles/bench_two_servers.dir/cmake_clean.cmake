@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_servers.dir/bench_two_servers.cc.o"
+  "CMakeFiles/bench_two_servers.dir/bench_two_servers.cc.o.d"
+  "bench_two_servers"
+  "bench_two_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

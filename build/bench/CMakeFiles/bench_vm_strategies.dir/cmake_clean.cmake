@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_strategies.dir/bench_vm_strategies.cc.o"
+  "CMakeFiles/bench_vm_strategies.dir/bench_vm_strategies.cc.o.d"
+  "bench_vm_strategies"
+  "bench_vm_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_eviction_demo.dir/eviction_demo.cpp.o"
+  "CMakeFiles/example_eviction_demo.dir/eviction_demo.cpp.o.d"
+  "example_eviction_demo"
+  "example_eviction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_eviction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

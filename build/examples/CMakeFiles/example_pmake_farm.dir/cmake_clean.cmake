@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pmake_farm.dir/pmake_farm.cpp.o"
+  "CMakeFiles/example_pmake_farm.dir/pmake_farm.cpp.o.d"
+  "example_pmake_farm"
+  "example_pmake_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pmake_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_strategy_tour.dir/strategy_tour.cpp.o"
+  "CMakeFiles/example_strategy_tour.dir/strategy_tour.cpp.o.d"
+  "example_strategy_tour"
+  "example_strategy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_strategy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

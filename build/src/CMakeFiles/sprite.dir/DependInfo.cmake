@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/pmake.cc" "src/CMakeFiles/sprite.dir/apps/pmake.cc.o" "gcc" "src/CMakeFiles/sprite.dir/apps/pmake.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/CMakeFiles/sprite.dir/apps/workload.cc.o" "gcc" "src/CMakeFiles/sprite.dir/apps/workload.cc.o.d"
+  "/root/repo/src/core/sprite.cc" "src/CMakeFiles/sprite.dir/core/sprite.cc.o" "gcc" "src/CMakeFiles/sprite.dir/core/sprite.cc.o.d"
+  "/root/repo/src/fs/client.cc" "src/CMakeFiles/sprite.dir/fs/client.cc.o" "gcc" "src/CMakeFiles/sprite.dir/fs/client.cc.o.d"
+  "/root/repo/src/fs/pdev.cc" "src/CMakeFiles/sprite.dir/fs/pdev.cc.o" "gcc" "src/CMakeFiles/sprite.dir/fs/pdev.cc.o.d"
+  "/root/repo/src/fs/server.cc" "src/CMakeFiles/sprite.dir/fs/server.cc.o" "gcc" "src/CMakeFiles/sprite.dir/fs/server.cc.o.d"
+  "/root/repo/src/fs/types.cc" "src/CMakeFiles/sprite.dir/fs/types.cc.o" "gcc" "src/CMakeFiles/sprite.dir/fs/types.cc.o.d"
+  "/root/repo/src/kern/cluster.cc" "src/CMakeFiles/sprite.dir/kern/cluster.cc.o" "gcc" "src/CMakeFiles/sprite.dir/kern/cluster.cc.o.d"
+  "/root/repo/src/loadshare/central.cc" "src/CMakeFiles/sprite.dir/loadshare/central.cc.o" "gcc" "src/CMakeFiles/sprite.dir/loadshare/central.cc.o.d"
+  "/root/repo/src/loadshare/distributed.cc" "src/CMakeFiles/sprite.dir/loadshare/distributed.cc.o" "gcc" "src/CMakeFiles/sprite.dir/loadshare/distributed.cc.o.d"
+  "/root/repo/src/loadshare/facility.cc" "src/CMakeFiles/sprite.dir/loadshare/facility.cc.o" "gcc" "src/CMakeFiles/sprite.dir/loadshare/facility.cc.o.d"
+  "/root/repo/src/loadshare/node.cc" "src/CMakeFiles/sprite.dir/loadshare/node.cc.o" "gcc" "src/CMakeFiles/sprite.dir/loadshare/node.cc.o.d"
+  "/root/repo/src/loadshare/shared_file.cc" "src/CMakeFiles/sprite.dir/loadshare/shared_file.cc.o" "gcc" "src/CMakeFiles/sprite.dir/loadshare/shared_file.cc.o.d"
+  "/root/repo/src/migration/manager.cc" "src/CMakeFiles/sprite.dir/migration/manager.cc.o" "gcc" "src/CMakeFiles/sprite.dir/migration/manager.cc.o.d"
+  "/root/repo/src/proc/syscalls.cc" "src/CMakeFiles/sprite.dir/proc/syscalls.cc.o" "gcc" "src/CMakeFiles/sprite.dir/proc/syscalls.cc.o.d"
+  "/root/repo/src/proc/table.cc" "src/CMakeFiles/sprite.dir/proc/table.cc.o" "gcc" "src/CMakeFiles/sprite.dir/proc/table.cc.o.d"
+  "/root/repo/src/rpc/rpc.cc" "src/CMakeFiles/sprite.dir/rpc/rpc.cc.o" "gcc" "src/CMakeFiles/sprite.dir/rpc/rpc.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/sprite.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/sprite.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/sprite.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/sprite.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/sprite.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/sprite.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/sprite.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/sprite.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/sprite.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/sprite.dir/sim/time.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/sprite.dir/util/log.cc.o" "gcc" "src/CMakeFiles/sprite.dir/util/log.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sprite.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sprite.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/sprite.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/sprite.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/sprite.dir/util/status.cc.o" "gcc" "src/CMakeFiles/sprite.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/sprite.dir/util/table.cc.o" "gcc" "src/CMakeFiles/sprite.dir/util/table.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/CMakeFiles/sprite.dir/vm/vm.cc.o" "gcc" "src/CMakeFiles/sprite.dir/vm/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

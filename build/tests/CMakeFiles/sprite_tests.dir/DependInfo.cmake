@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/sprite_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/sprite_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/sprite_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/forwarding_test.cc" "tests/CMakeFiles/sprite_tests.dir/forwarding_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/forwarding_test.cc.o.d"
+  "/root/repo/tests/fs_extra_test.cc" "tests/CMakeFiles/sprite_tests.dir/fs_extra_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/fs_extra_test.cc.o.d"
+  "/root/repo/tests/fs_robustness_test.cc" "tests/CMakeFiles/sprite_tests.dir/fs_robustness_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/fs_robustness_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/sprite_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sprite_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/loadshare_test.cc" "tests/CMakeFiles/sprite_tests.dir/loadshare_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/loadshare_test.cc.o.d"
+  "/root/repo/tests/migration_test.cc" "tests/CMakeFiles/sprite_tests.dir/migration_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/migration_test.cc.o.d"
+  "/root/repo/tests/pipe_test.cc" "tests/CMakeFiles/sprite_tests.dir/pipe_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/pipe_test.cc.o.d"
+  "/root/repo/tests/proc_test.cc" "tests/CMakeFiles/sprite_tests.dir/proc_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/proc_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sprite_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rpc_test.cc" "tests/CMakeFiles/sprite_tests.dir/rpc_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/rpc_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sprite_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/sprite_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/sprite_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/sprite_tests.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sprite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
