@@ -91,6 +91,46 @@ void BM_ExecTimeMigration(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecTimeMigration);
 
+// ---- Tracing overhead ----
+//
+// The same RPC workload with event tracing off (the default: every
+// instrumentation site is one predictable branch, counters still count) and
+// on (spans/instants are recorded). The off/on pair bounds what the
+// instrumentation costs a production run: off must track BM_RpcRoundTrips.
+
+void rpc_workload(sprite::kern::Cluster& cluster) {
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    cluster.host(1).rpc().call(
+        2, sprite::rpc::ServiceId::kProc,
+        static_cast<int>(sprite::proc::ProcOp::kGetHostName), nullptr,
+        [&](sprite::util::Result<sprite::rpc::Reply>) { ++done; });
+  }
+  cluster.run_until_done([&] { return done == 100; });
+}
+
+void BM_RpcRoundTripsTracingOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sprite::kern::Cluster cluster(
+        {.num_workstations = 2, .num_file_servers = 1});
+    rpc_workload(cluster);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RpcRoundTripsTracingOff);
+
+void BM_RpcRoundTripsTracingOn(benchmark::State& state) {
+  for (auto _ : state) {
+    sprite::kern::Cluster cluster(
+        {.num_workstations = 2, .num_file_servers = 1});
+    cluster.sim().trace().set_tracing(true);
+    rpc_workload(cluster);
+    benchmark::DoNotOptimize(cluster.sim().trace().events().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RpcRoundTripsTracingOn);
+
 }  // namespace
 
 BENCHMARK_MAIN();

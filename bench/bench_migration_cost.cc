@@ -44,9 +44,12 @@ double null_migration_ms() {
 }
 
 // Active migration of a process holding `files` open streams and `dirty_mb`
-// megabytes of dirty heap, under the Sprite flush strategy.
-MigrationRecord migrate_with_state(int files, int dirty_mb) {
+// megabytes of dirty heap, under the Sprite flush strategy. A non-empty
+// `trace_path` records the run as Chrome trace JSON.
+MigrationRecord migrate_with_state(int files, int dirty_mb,
+                                   const std::string& trace_path = "") {
   SpriteCluster cluster({.workstations = 3, .seed = 7});
+  bench::arm_trace(cluster, trace_path);
   auto* server = cluster.kernel().file_server().fs_server();
   server->mkdir_p("/data");
   for (int f = 0; f < files; ++f)
@@ -68,12 +71,15 @@ MigrationRecord migrate_with_state(int files, int dirty_mb) {
   cluster.run_for(Time::sec(10));  // state established, now sleeping
   auto st = cluster.migrate(pid, cluster.workstation(1));
   SPRITE_CHECK(st.is_ok());
-  return cluster.host(cluster.workstation(0)).mig().last_record();
+  auto rec = cluster.host(cluster.workstation(0)).mig().last_record();
+  if (!trace_path.empty()) bench::finish_trace(cluster, trace_path);
+  return rec;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_out_arg(argc, argv);
   bench::header("E1: migration cost breakdown (bench_migration_cost)",
                 "null exec-time migration ~76 ms; +9.4 ms per open file; "
                 "+480 ms per dirty MB flushed");
@@ -115,9 +121,10 @@ int main() {
   t2.print();
 
   // Component breakdown of one representative migration (4 open files,
-  // 2 MB dirty), mirroring the thesis's cost-breakdown table.
+  // 2 MB dirty), mirroring the thesis's cost-breakdown table. This run is
+  // the one recorded by --trace-out.
   {
-    auto rec = migrate_with_state(4, 2);
+    auto rec = migrate_with_state(4, 2, trace_path);
     Table t3({"phase", "ms"});
     t3.add_row({"init handshake (version check, slot)",
                 Table::num((rec.init_done_at - rec.started).ms(), 1)});

@@ -25,6 +25,53 @@ inline void header(const char* experiment, const char* paper_claim) {
 
 inline void footnote(const char* text) { std::printf("\n%s\n", text); }
 
+// ---- Tracing (trace/trace.h) ----
+//
+// Every bench binary accepts `--trace-out <file>.json`. When given, event
+// tracing is enabled on the cluster's simulator, the run's events are written
+// as Chrome trace_event JSON (open in Perfetto / chrome://tracing), and the
+// metrics table is printed at exit. Without the flag, only the always-on
+// counters run.
+
+// Returns the --trace-out argument, or "" when absent.
+inline std::string trace_out_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace-out" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--trace-out=", 0) == 0) return a.substr(12);
+  }
+  return "";
+}
+
+// Call after constructing the cluster, before running the workload.
+inline void arm_trace(sprite::core::SpriteCluster& cluster,
+                      const std::string& path) {
+  if (path.empty()) return;
+  sprite::trace::Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+  for (std::size_t h = 0; h < cluster.kernel().num_hosts(); ++h) {
+    auto id = static_cast<sprite::sim::HostId>(h);
+    tr.set_host_name(id, cluster.kernel().host(id).name());
+  }
+}
+
+// Call after the workload finishes: writes the trace JSON (when a path was
+// given) and prints the metrics table.
+inline void finish_trace(sprite::core::SpriteCluster& cluster,
+                         const std::string& path) {
+  sprite::trace::Registry& tr = cluster.sim().trace();
+  if (!path.empty()) {
+    const sprite::util::Status s = tr.write_chrome_json(path);
+    if (s.is_ok()) {
+      std::printf("\ntrace: %zu events -> %s\n", tr.events().size(),
+                  path.c_str());
+    } else {
+      std::printf("\ntrace: write failed: %s\n", s.to_string().c_str());
+    }
+  }
+  std::printf("\n-- metrics --\n%s", tr.metrics_report().c_str());
+}
+
 // Blocking pmake run.
 inline sprite::apps::Pmake::Result run_pmake(
     sprite::core::SpriteCluster& cluster,

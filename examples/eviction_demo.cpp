@@ -6,8 +6,12 @@
 // correctly. "The nice thing about an Alto is that it doesn't get faster at
 // night" — but a Sprite network does, without sacrificing anyone's machine.
 //
-//   ./example_eviction_demo
+//   ./example_eviction_demo [--trace-out eviction.trace.json]
+//
+// With --trace-out, the run is recorded as Chrome trace_event JSON — open it
+// in Perfetto (ui.perfetto.dev) to see the migration spans and the eviction.
 #include <cstdio>
+#include <string>
 
 #include "core/sprite.h"
 
@@ -15,8 +19,20 @@ using sprite::core::SpriteCluster;
 using sprite::proc::ScriptBuilder;
 using sprite::sim::Time;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace-out") trace_path = argv[i + 1];
+
   SpriteCluster cluster({.workstations = 5, .seed = 5});
+  sprite::trace::Registry& tr = cluster.sim().trace();
+  if (!trace_path.empty()) {
+    tr.set_tracing(true);
+    for (std::size_t h = 0; h < cluster.kernel().num_hosts(); ++h) {
+      auto id = static_cast<sprite::sim::HostId>(h);
+      tr.set_host_name(id, cluster.kernel().host(id).name());
+    }
+  }
   cluster.warm_up();
 
   // A simulation: dirty a decent working set, then grind CPU.
@@ -63,6 +79,13 @@ int main() {
     std::printf("simulation %llu finished with status %d on %s\n",
                 static_cast<unsigned long long>(pid), status,
                 cluster.host(sprite::proc::pid_home(pid)).name().c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const auto s = tr.write_chrome_json(trace_path);
+    std::printf("\ntrace: %zu events -> %s (%s)\n", tr.events().size(),
+                trace_path.c_str(), s.to_string().c_str());
+    std::printf("\n%s", tr.metrics_report().c_str());
   }
   return 0;
 }

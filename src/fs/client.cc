@@ -18,7 +18,44 @@ using util::Status;
 
 FsClient::FsClient(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
                    const sim::Costs& costs)
-    : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {}
+    : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {
+  trace::Registry& tr = sim_.trace();
+  const sim::HostId self = rpc_.host();
+  c_cache_hit_ = &tr.counter("fs.client.block.hit", self);
+  c_cache_miss_ = &tr.counter("fs.client.block.miss", self);
+  c_remote_reads_ = &tr.counter("fs.client.read.sent", self);
+  c_remote_writes_ = &tr.counter("fs.client.write.sent", self);
+  c_name_hits_ = &tr.counter("fs.client.name_cache.hit", self);
+  c_name_stale_ = &tr.counter("fs.client.name_cache.stale", self);
+  c_writeback_bytes_ = &tr.counter("fs.client.writeback.bytes", self);
+  c_recalls_ = &tr.counter("fs.client.recall.served", self);
+  c_cache_disables_ = &tr.counter("fs.client.cache.disabled", self);
+}
+
+const FsClient::Stats& FsClient::stats() const {
+  stats_view_.cache_hit_blocks = c_cache_hit_->value();
+  stats_view_.cache_miss_blocks = c_cache_miss_->value();
+  stats_view_.remote_reads = c_remote_reads_->value();
+  stats_view_.remote_writes = c_remote_writes_->value();
+  stats_view_.name_cache_hits = c_name_hits_->value();
+  stats_view_.name_cache_stale = c_name_stale_->value();
+  stats_view_.writeback_bytes = c_writeback_bytes_->value();
+  stats_view_.recalls_served = c_recalls_->value();
+  stats_view_.cache_disables = c_cache_disables_->value();
+  return stats_view_;
+}
+
+void FsClient::reset_stats() {
+  c_cache_hit_->reset();
+  c_cache_miss_->reset();
+  c_remote_reads_->reset();
+  c_remote_writes_->reset();
+  c_name_hits_->reset();
+  c_name_stale_->reset();
+  c_writeback_bytes_->reset();
+  c_recalls_->reset();
+  c_cache_disables_->reset();
+}
 
 void FsClient::register_services() {
   rpc_.register_service(
@@ -70,9 +107,13 @@ void FsClient::open(const std::string& path, OpenFlags flags, OpenCb cb) {
     auto it = name_cache_.find(path);
     if (it != name_cache_.end()) {
       body->hint = it->second;
-      ++stats_.name_cache_hits;
+      c_name_hits_->inc();
     }
   }
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("fs", "open", rpc_.host(), -1,
+               {{"path", path},
+                {"hinted", body->hint != kInvalidIno ? "1" : "0"}});
   rpc_.call(
       *server, ServiceId::kFsName, static_cast<int>(NameOp::kOpen), body,
       [this, path, flags, body, cb = std::move(cb)](util::Result<Reply> r) {
@@ -81,7 +122,7 @@ void FsClient::open(const std::string& path, OpenFlags flags, OpenCb cb) {
           if (body->hint != kInvalidIno) {
             // Stale hint (e.g. the file was replaced): drop the cached name
             // and retry with a full lookup.
-            ++stats_.name_cache_stale;
+            c_name_stale_->inc();
             name_cache_.erase(path);
             auto retry = std::make_shared<OpenReq>();
             retry->path = path;
@@ -264,11 +305,11 @@ void FsClient::cached_read(const StreamPtr& s, std::int64_t offset,
   std::vector<std::pair<std::int64_t, std::int64_t>> runs;
   for (std::int64_t blk = first; blk <= last; ++blk) {
     if (st.blocks.count(blk)) {
-      ++stats_.cache_hit_blocks;
+      c_cache_hit_->inc();
       touch_lru(s->file, blk);
       continue;
     }
-    ++stats_.cache_miss_blocks;
+    c_cache_miss_->inc();
     if (!runs.empty() && runs.back().second == blk - 1) {
       runs.back().second = blk;
     } else {
@@ -343,7 +384,7 @@ void FsClient::fetch_blocks(FileId id, std::int64_t first, std::int64_t last,
   body->id = id;
   body->offset = first * costs_.block_size;
   body->len = (chunk_last - first + 1) * costs_.block_size;
-  ++stats_.remote_reads;
+  c_remote_reads_->inc();
   rpc_.call(
       id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead), body,
       [this, id, first, chunk_last, last, fn = std::move(fn)](
@@ -511,7 +552,7 @@ void FsClient::remote_read(FileId id, std::int64_t offset, std::int64_t len,
     body->id = id;
     body->offset = st->pos;
     body->len = n;
-    ++stats_.remote_reads;
+    c_remote_reads_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead),
               body, [st, step, n, cb](util::Result<Reply> r) mutable {
                 if (!r.is_ok()) return cb(r.status());
@@ -559,7 +600,7 @@ void FsClient::remote_write(FileId id, std::int64_t offset, Bytes data,
     body->data.assign(
         st->data.begin() + static_cast<std::ptrdiff_t>(st->written),
         st->data.begin() + static_cast<std::ptrdiff_t>(st->written + n));
-    ++stats_.remote_writes;
+    c_remote_writes_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
               body, [st, step, n, cb](util::Result<Reply> r) mutable {
                 if (!r.is_ok()) return cb(r.status());
@@ -605,7 +646,7 @@ void FsClient::flush_file(FileId id, StatusCb cb) {
   for (auto& [blk, cblk] : st.blocks) {
     if (!cblk.dirty) continue;
     cblk.dirty = false;  // the write below carries the data
-    stats_.writeback_bytes += static_cast<std::int64_t>(cblk.data.size());
+    c_writeback_bytes_->inc(static_cast<std::int64_t>(cblk.data.size()));
     const bool contiguous =
         !runs->empty() &&
         runs->back().first_blk +
@@ -642,7 +683,7 @@ void FsClient::flush_file(FileId id, StatusCb cb) {
     body->id = id;
     body->offset = (*runs)[i].first_blk * costs_.block_size;
     body->data = (*runs)[i].data;
-    ++stats_.remote_writes;
+    c_remote_writes_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
               body, [step, i, cb](util::Result<Reply> r) mutable {
                 if (!r.is_ok()) return cb(r.status());
@@ -722,7 +763,7 @@ void FsClient::handle_callback(const Request& req,
   SPRITE_CHECK(body != nullptr);
   switch (static_cast<CallbackOp>(req.op)) {
     case CallbackOp::kRecallDirty: {
-      ++stats_.recalls_served;
+      c_recalls_->inc();
       flush_file(body->id, [respond = std::move(respond)](Status s) {
         respond(Reply{s, nullptr});
       });
@@ -739,7 +780,7 @@ void FsClient::handle_callback(const Request& req,
       return;
     }
     case CallbackOp::kDisableCache: {
-      ++stats_.cache_disables;
+      c_cache_disables_->inc();
       const FileId id = body->id;
       flush_file(id, [this, id, respond = std::move(respond)](Status s) {
         auto it = files_.find(id);
@@ -995,7 +1036,7 @@ void FsClient::enforce_capacity() {
       body->id = id;
       body->offset = blk * costs_.block_size;
       body->data = std::move(bit->second.data);
-      ++stats_.remote_writes;
+      c_remote_writes_->inc();
       rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
                 body, [](util::Result<Reply>) {});
     }

@@ -139,7 +139,7 @@ class FsClient {
   std::int64_t dirty_bytes(FileId id) const;
   std::int64_t total_dirty_bytes() const;
 
-  // ---- Statistics ----
+  // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
     std::int64_t cache_hit_blocks = 0;
     std::int64_t cache_miss_blocks = 0;
@@ -151,8 +151,8 @@ class FsClient {
     std::int64_t recalls_served = 0;
     std::int64_t cache_disables = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  const Stats& stats() const;
+  void reset_stats();
 
  private:
   struct CacheBlock {
@@ -215,7 +215,17 @@ class FsClient {
            std::list<std::pair<FileId, std::int64_t>>::iterator>
       lru_index_;
 
-  Stats stats_;
+  // Registry-backed metrics (trace/trace.h) and the legacy struct view.
+  trace::Counter* c_cache_hit_;
+  trace::Counter* c_cache_miss_;
+  trace::Counter* c_remote_reads_;
+  trace::Counter* c_remote_writes_;
+  trace::Counter* c_name_hits_;
+  trace::Counter* c_name_stale_;
+  trace::Counter* c_writeback_bytes_;
+  trace::Counter* c_recalls_;
+  trace::Counter* c_cache_disables_;
+  mutable Stats stats_view_;
 };
 
 // Maximum bytes moved per FS data RPC (Sprite's fragmented RPC limit).

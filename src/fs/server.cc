@@ -28,11 +28,56 @@ Reply error_reply(Err e, std::string msg = "") {
 FsServer::FsServer(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
                    const sim::Costs& costs)
     : sim_(sim), cpu_(cpu), rpc_(rpc), costs_(costs) {
+  trace::Registry& tr = sim_.trace();
+  const sim::HostId self = rpc_.host();
+  c_opens_ = &tr.counter("fs.server.open.served", self);
+  c_hinted_opens_ = &tr.counter("fs.server.open.hinted", self);
+  c_closes_ = &tr.counter("fs.server.close.served", self);
+  c_lookup_components_ = &tr.counter("fs.server.lookup.components", self);
+  c_reads_ = &tr.counter("fs.server.read.served", self);
+  c_writes_ = &tr.counter("fs.server.write.served", self);
+  c_bytes_read_ = &tr.counter("fs.server.read.bytes", self);
+  c_bytes_written_ = &tr.counter("fs.server.write.bytes", self);
+  c_recalls_ = &tr.counter("fs.server.recall.sent", self);
+  c_cache_disables_ = &tr.counter("fs.server.cache.disabled", self);
+  c_disk_accesses_ = &tr.counter("fs.server.disk.accessed", self);
+  c_stream_migrations_ = &tr.counter("fs.server.stream.migrated", self);
+  c_pipe_reads_ = &tr.counter("fs.server.pipe.read", self);
+  c_pipe_writes_ = &tr.counter("fs.server.pipe.written", self);
+  c_pipe_wakeups_ = &tr.counter("fs.server.pipe.woken", self);
   root_ = next_ino_++;
   Inode root;
   root.ino = root_;
   root.type = FileType::kDirectory;
   inodes_.emplace(root_, std::move(root));
+}
+
+const FsServer::Stats& FsServer::stats() const {
+  stats_view_.opens = c_opens_->value();
+  stats_view_.hinted_opens = c_hinted_opens_->value();
+  stats_view_.closes = c_closes_->value();
+  stats_view_.lookup_components = c_lookup_components_->value();
+  stats_view_.reads = c_reads_->value();
+  stats_view_.writes = c_writes_->value();
+  stats_view_.bytes_read = c_bytes_read_->value();
+  stats_view_.bytes_written = c_bytes_written_->value();
+  stats_view_.recalls = c_recalls_->value();
+  stats_view_.cache_disables = c_cache_disables_->value();
+  stats_view_.disk_accesses = c_disk_accesses_->value();
+  stats_view_.stream_migrations = c_stream_migrations_->value();
+  stats_view_.pipe_reads = c_pipe_reads_->value();
+  stats_view_.pipe_writes = c_pipe_writes_->value();
+  stats_view_.pipe_wakeups = c_pipe_wakeups_->value();
+  return stats_view_;
+}
+
+void FsServer::reset_stats() {
+  for (trace::Counter* c :
+       {c_opens_, c_hinted_opens_, c_closes_, c_lookup_components_, c_reads_,
+        c_writes_, c_bytes_read_, c_bytes_written_, c_recalls_,
+        c_cache_disables_, c_disk_accesses_, c_stream_migrations_,
+        c_pipe_reads_, c_pipe_writes_, c_pipe_wakeups_})
+    c->reset();
 }
 
 void FsServer::register_services() {
@@ -274,7 +319,10 @@ void FsServer::update_sharing(Inode& node,
       writer_hosts >= 2 || (writer_hosts == 1 && user_hosts >= 2);
   if (shared && !node.write_shared) {
     node.write_shared = true;
-    ++stats_.cache_disables;
+    c_cache_disables_->inc();
+    if (trace::Registry& tr = sim_.trace(); tr.tracing())
+      tr.instant("fs", "caching disabled (write sharing)", rpc_.host(), -1,
+                 {{"ino", std::to_string(node.ino)}});
     for (const auto& [h, use] : node.users)
       if (use.any()) to_disable->push_back(h);
   } else if (!shared && node.write_shared) {
@@ -305,7 +353,7 @@ int FsServer::cache_misses(Ino ino, std::int64_t offset, std::int64_t len) {
       lru_.pop_back();
     }
   }
-  stats_.disk_accesses += misses;
+  c_disk_accesses_->inc(misses);
   return misses;
 }
 
@@ -338,10 +386,10 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
       sim::Time cpu = costs_.fs_open_cpu;
       if (!hint_ok) {
         const int ncomp = path_components(body->path);
-        stats_.lookup_components += ncomp;
+        c_lookup_components_->inc(ncomp);
         cpu += costs_.fs_lookup_cpu_per_component * ncomp;
       } else {
-        ++stats_.hinted_opens;
+        c_hinted_opens_->inc();
       }
       charge(cpu, 0,
              [this, src, body, hint_ok, respond = std::move(respond)]() mutable {
@@ -362,7 +410,7 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
       auto body = rpc::body_cast<PathReq>(req.body);
       SPRITE_CHECK(body != nullptr);
       const int ncomp = path_components(body->path);
-      stats_.lookup_components += ncomp;
+      c_lookup_components_->inc(ncomp);
       charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
              [this, body, respond = std::move(respond)]() mutable {
                const auto comps = split_path(body->path);
@@ -385,7 +433,7 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
       auto body = rpc::body_cast<PathReq>(req.body);
       SPRITE_CHECK(body != nullptr);
       const int ncomp = path_components(body->path);
-      stats_.lookup_components += ncomp;
+      c_lookup_components_->inc(ncomp);
       charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
              [this, body, respond = std::move(respond)]() mutable {
                auto r = create_at(body->path, FileType::kDirectory);
@@ -398,7 +446,7 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
       auto body = rpc::body_cast<PathReq>(req.body);
       SPRITE_CHECK(body != nullptr);
       const int ncomp = path_components(body->path);
-      stats_.lookup_components += ncomp;
+      c_lookup_components_->inc(ncomp);
       charge(costs_.fs_lookup_cpu_per_component * ncomp, 0,
              [this, body, respond = std::move(respond)]() mutable {
                auto r = stat_path(body->path);
@@ -435,7 +483,7 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
 
 void FsServer::do_open(HostId src, const OpenReq& req, bool hint_ok,
                        Respond respond) {
-  ++stats_.opens;
+  c_opens_->inc();
   Ino ino = kInvalidIno;
   if (hint_ok) {
     ino = req.hint;
@@ -467,7 +515,11 @@ void FsServer::do_open(HostId src, const OpenReq& req, bool hint_ok,
   // Sequential write sharing: the last writing host may hold dirty blocks in
   // its cache; recall them before this open completes [NWO88].
   if (node.last_writer != sim::kInvalidHost && node.last_writer != src) {
-    ++stats_.recalls;
+    c_recalls_->inc();
+    if (trace::Registry& tr = sim_.trace(); tr.tracing())
+      tr.instant("fs", "dirty recall", rpc_.host(), -1,
+                 {{"ino", std::to_string(ino)},
+                  {"writer", std::to_string(node.last_writer)}});
     const HostId writer = node.last_writer;
     node.last_writer = sim::kInvalidHost;
     auto cb = std::make_shared<CallbackReq>();
@@ -525,7 +577,7 @@ void FsServer::finish_open(HostId src, const OpenReq& req, Ino ino,
 }
 
 void FsServer::do_close(HostId src, const CloseReq& req, Respond respond) {
-  ++stats_.closes;
+  c_closes_->inc();
   Inode* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "close"));
   auto it = node->users.find(src);
@@ -663,21 +715,21 @@ void FsServer::handle_io(HostId src, const Request& req, Respond respond) {
 void FsServer::do_read(HostId, const ReadReq& req, Respond respond) {
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "read"));
-  ++stats_.reads;
+  c_reads_->inc();
   auto rep = std::make_shared<ReadRep>();
   rep->data = pread(*node, req.offset, req.len);
-  stats_.bytes_read += static_cast<std::int64_t>(rep->data.size());
+  c_bytes_read_->inc(static_cast<std::int64_t>(rep->data.size()));
   respond(Reply{Status::ok(), rep});
 }
 
 void FsServer::do_write(HostId, const WriteReq& req, Respond respond) {
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "write"));
-  ++stats_.writes;
+  c_writes_->inc();
   auto rep = std::make_shared<WriteRep>();
   rep->written = pwrite(*node, req.offset, req.data);
   rep->new_size = node->size;
-  stats_.bytes_written += rep->written;
+  c_bytes_written_->inc(rep->written);
   respond(Reply{Status::ok(), rep});
 }
 
@@ -691,14 +743,14 @@ void FsServer::do_group_io(HostId, IoOp op, const GroupIoReq& req,
 
   auto rep = std::make_shared<GroupIoRep>();
   if (op == IoOp::kGroupRead) {
-    ++stats_.reads;
+    c_reads_->inc();
     rep->data = pread(*node, it->second, req.len);
-    stats_.bytes_read += static_cast<std::int64_t>(rep->data.size());
+    c_bytes_read_->inc(static_cast<std::int64_t>(rep->data.size()));
     it->second += static_cast<std::int64_t>(rep->data.size());
   } else {
-    ++stats_.writes;
+    c_writes_->inc();
     rep->written = pwrite(*node, it->second, req.data);
-    stats_.bytes_written += rep->written;
+    c_bytes_written_->inc(rep->written);
     it->second += rep->written;
   }
   rep->new_offset = it->second;
@@ -712,7 +764,7 @@ void FsServer::notify_pipe_waiters(Inode& node) {
   std::sort(waiters.begin(), waiters.end());
   waiters.erase(std::unique(waiters.begin(), waiters.end()), waiters.end());
   for (HostId h : waiters) {
-    ++stats_.pipe_wakeups;
+    c_pipe_wakeups_->inc();
     auto cb = std::make_shared<CallbackReq>();
     cb->id = FileId{host(), node.ino};
     rpc_.call(h, ServiceId::kFsCallback,
@@ -726,7 +778,7 @@ void FsServer::do_pipe_read(HostId src, const PipeIoReq& req,
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr || node->type != FileType::kPipe)
     return respond(error_reply(Err::kStale, "pipe read"));
-  ++stats_.pipe_reads;
+  c_pipe_reads_->inc();
 
   if (!node->pipe_buffer.empty()) {
     const auto n = std::min<std::size_t>(
@@ -757,7 +809,7 @@ void FsServer::do_pipe_write(HostId src, const PipeIoReq& req,
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr || node->type != FileType::kPipe)
     return respond(error_reply(Err::kStale, "pipe write"));
-  ++stats_.pipe_writes;
+  c_pipe_writes_->inc();
 
   int readers = 0;
   for (const auto& [h, use] : node->users) readers += use.readers;
@@ -782,7 +834,12 @@ void FsServer::do_migrate_stream(const MigrateStreamReq& req,
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr)
     return respond(error_reply(Err::kStale, "migrate stream"));
-  ++stats_.stream_migrations;
+  c_stream_migrations_->inc();
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("fs", "stream re-attributed", rpc_.host(), -1,
+               {{"ino", std::to_string(req.id.ino)},
+                {"from", std::to_string(req.from)},
+                {"to", std::to_string(req.to)}});
 
   // Re-attributing a stream is semantically an open on the destination
   // host: any third host holding dirty cached data must be recalled first,
@@ -791,7 +848,7 @@ void FsServer::do_migrate_stream(const MigrateStreamReq& req,
   if (node->type != FileType::kPipe &&
       node->last_writer != sim::kInvalidHost &&
       node->last_writer != req.from && node->last_writer != req.to) {
-    ++stats_.recalls;
+    c_recalls_->inc();
     const HostId writer = node->last_writer;
     node->last_writer = sim::kInvalidHost;
     auto cb = std::make_shared<CallbackReq>();

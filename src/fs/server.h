@@ -62,7 +62,7 @@ class FsServer {
   bool is_cacheable(FileId id) const;
   std::int64_t group_offset(FileId id, std::int64_t group) const;
 
-  // ---- Statistics ----
+  // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
     std::int64_t opens = 0;
     std::int64_t hinted_opens = 0;  // resolved via a client name-cache hint
@@ -80,8 +80,8 @@ class FsServer {
     std::int64_t pipe_writes = 0;
     std::int64_t pipe_wakeups = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  const Stats& stats() const;
+  void reset_stats();
 
  private:
   struct HostUse {
@@ -174,7 +174,23 @@ class FsServer {
            std::list<std::pair<Ino, std::int64_t>>::iterator>
       cached_;
 
-  Stats stats_;
+  // Registry-backed metrics (trace/trace.h) and the legacy struct view.
+  trace::Counter* c_opens_;
+  trace::Counter* c_hinted_opens_;
+  trace::Counter* c_closes_;
+  trace::Counter* c_lookup_components_;
+  trace::Counter* c_reads_;
+  trace::Counter* c_writes_;
+  trace::Counter* c_bytes_read_;
+  trace::Counter* c_bytes_written_;
+  trace::Counter* c_recalls_;
+  trace::Counter* c_cache_disables_;
+  trace::Counter* c_disk_accesses_;
+  trace::Counter* c_stream_migrations_;
+  trace::Counter* c_pipe_reads_;
+  trace::Counter* c_pipe_writes_;
+  trace::Counter* c_pipe_wakeups_;
+  mutable Stats stats_view_;
 };
 
 }  // namespace sprite::fs

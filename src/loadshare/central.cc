@@ -229,7 +229,9 @@ CentralSelector::CentralSelector(
     std::function<bool(sim::HostId)> ground_truth_idle)
     : host_(host),
       path_(std::move(pdev_path)),
-      ground_truth_(std::move(ground_truth_idle)) {}
+      ground_truth_(std::move(ground_truth_idle)) {
+  bind_metrics(host_.cluster().sim().trace(), host_.id());
+}
 
 void CentralSelector::ensure_open(std::function<void(Status)> then) {
   if (stream_) return then(Status::ok());
@@ -243,7 +245,7 @@ void CentralSelector::ensure_open(std::function<void(Status)> then) {
 }
 
 void CentralSelector::request_hosts(int n, GrantCb cb) {
-  ++stats_.requests;
+  note_request();
   const Time start = host_.cluster().sim().now();
   ensure_open([this, n, start, cb = std::move(cb)](Status s) mutable {
     if (!s.is_ok()) return cb({});
@@ -271,13 +273,11 @@ void CentralSelector::request_hosts(int n, GrantCb cb) {
               }
             }
           }
-          stats_.grant_latency_ms.add(
-              (host_.cluster().sim().now() - start).ms());
-          stats_.hosts_granted += static_cast<std::int64_t>(hosts.size());
-          if (hosts.empty()) ++stats_.empty_grants;
+          note_grant_done(static_cast<std::int64_t>(hosts.size()),
+                          (host_.cluster().sim().now() - start).ms());
           if (ground_truth_) {
             for (HostId h : hosts)
-              if (!ground_truth_(h)) ++stats_.bad_grants;
+              if (!ground_truth_(h)) note_bad_grant();
           }
           cb(std::move(hosts));
         });

@@ -20,10 +20,12 @@ using util::Status;
 ProbabilisticSelector::ProbabilisticSelector(
     kern::Host& host, LoadShareNode& node,
     std::function<bool(sim::HostId)> ground_truth_idle)
-    : host_(host), node_(node), ground_truth_(std::move(ground_truth_idle)) {}
+    : host_(host), node_(node), ground_truth_(std::move(ground_truth_idle)) {
+  bind_metrics(host_.cluster().sim().trace(), host_.id());
+}
 
 void ProbabilisticSelector::request_hosts(int n, GrantCb cb) {
-  ++stats_.requests;
+  note_request();
   const Time start = host_.cluster().sim().now();
   const Time now = start;
   const Time max_age = host_.cluster().costs().ls_entry_max_age;
@@ -52,9 +54,8 @@ void ProbabilisticSelector::try_reserve(
     std::shared_ptr<std::vector<HostId>> cands, std::size_t i, int want,
     std::shared_ptr<std::vector<HostId>> got, Time start, GrantCb cb) {
   if (static_cast<int>(got->size()) >= want || i >= cands->size()) {
-    stats_.grant_latency_ms.add((host_.cluster().sim().now() - start).ms());
-    stats_.hosts_granted += static_cast<std::int64_t>(got->size());
-    if (got->empty()) ++stats_.empty_grants;
+    note_grant_done(static_cast<std::int64_t>(got->size()),
+                    (host_.cluster().sim().now() - start).ms());
     cb(*got);
     return;
   }
@@ -69,7 +70,7 @@ void ProbabilisticSelector::try_reserve(
           got->push_back(target);
         } else {
           // Our vector said idle; the host disagreed — stale information.
-          ++stats_.bad_grants;
+          note_bad_grant();
         }
         try_reserve(cands, i + 1, want, got, start, std::move(cb));
       });
@@ -91,6 +92,7 @@ MulticastSelector::MulticastSelector(
     kern::Host& host, LoadShareNode& node,
     std::function<bool(sim::HostId)> ground_truth_idle)
     : host_(host), node_(node), ground_truth_(std::move(ground_truth_idle)) {
+  bind_metrics(host_.cluster().sim().trace(), host_.id());
   node_.set_offer_sink([this](const OfferReq& offer) {
     if (offer.seq != current_seq_) return;  // stale query
     offers_.push_back(offer.host);
@@ -98,7 +100,7 @@ MulticastSelector::MulticastSelector(
 }
 
 void MulticastSelector::request_hosts(int n, GrantCb cb) {
-  ++stats_.requests;
+  note_request();
   const Time start = host_.cluster().sim().now();
   current_seq_ = next_seq_++;
   offers_.clear();
@@ -126,9 +128,8 @@ void MulticastSelector::reserve_offers(
     std::shared_ptr<std::vector<HostId>> offers, std::size_t i, int want,
     std::shared_ptr<std::vector<HostId>> got, Time start, GrantCb cb) {
   if (static_cast<int>(got->size()) >= want || i >= offers->size()) {
-    stats_.grant_latency_ms.add((host_.cluster().sim().now() - start).ms());
-    stats_.hosts_granted += static_cast<std::int64_t>(got->size());
-    if (got->empty()) ++stats_.empty_grants;
+    note_grant_done(static_cast<std::int64_t>(got->size()),
+                    (host_.cluster().sim().now() - start).ms());
     cb(*got);
     return;
   }
@@ -143,7 +144,7 @@ void MulticastSelector::reserve_offers(
           got->push_back(target);
         } else {
           // Another requester's query raced ours to this host.
-          ++stats_.bad_grants;
+          note_bad_grant();
         }
         reserve_offers(offers, i + 1, want, got, start, std::move(cb));
       });

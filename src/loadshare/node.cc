@@ -16,7 +16,23 @@ using util::Err;
 using util::Status;
 
 LoadShareNode::LoadShareNode(kern::Host& host)
-    : host_(host), rng_(host.cluster().sim().fork_rng()) {}
+    : host_(host), rng_(host.cluster().sim().fork_rng()) {
+  trace::Registry& tr = host_.cluster().sim().trace();
+  c_reserves_granted_ = &tr.counter("ls.reserve.granted", host_.id());
+  c_reserves_refused_ = &tr.counter("ls.reserve.refused", host_.id());
+  c_evictions_ = &tr.counter("ls.eviction.triggered", host_.id());
+  c_gossip_sent_ = &tr.counter("ls.gossip.sent", host_.id());
+  c_offers_sent_ = &tr.counter("ls.offer.sent", host_.id());
+}
+
+const LoadShareNode::Stats& LoadShareNode::stats() const {
+  stats_view_.reserves_granted = c_reserves_granted_->value();
+  stats_view_.reserves_refused = c_reserves_refused_->value();
+  stats_view_.evictions_triggered = c_evictions_->value();
+  stats_view_.gossip_sent = c_gossip_sent_->value();
+  stats_view_.offers_sent = c_offers_sent_->value();
+  return stats_view_;
+}
 
 sim::HostId LoadShareNode::id() const { return host_.id(); }
 
@@ -40,18 +56,18 @@ bool LoadShareNode::is_idle() const {
 
 util::Status LoadShareNode::try_reserve(HostId requester) {
   if (reserved()) {
-    ++stats_.reserves_refused;
+    c_reserves_refused_->inc();
     return Status(Err::kBusy, "already reserved");
   }
   if (!is_idle()) {
-    ++stats_.reserves_refused;
+    c_reserves_refused_->inc();
     return Status(Err::kBusy, "not idle");
   }
   reserved_by_ = requester;
   // Anticipated load: report ourselves busier before the migrated work
   // arrives, so other selectors do not flood this host (MOSIX-style).
   host_.cpu().set_load_bias(host_.cpu().load_bias() + 1.0);
-  ++stats_.reserves_granted;
+  c_reserves_granted_->inc();
   return Status::ok();
 }
 
@@ -69,7 +85,11 @@ void LoadShareNode::enable_autoeviction(std::function<void()> on_user_return) {
     if (evicting_) return;
     if (host_.procs().foreign_processes().empty()) return;
     evicting_ = true;
-    ++stats_.evictions_triggered;
+    c_evictions_->inc();
+    if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+      tr.instant("ls", "user returned: evict foreign", host_.id(), -1,
+                 {{"foreign", std::to_string(
+                                  host_.procs().foreign_processes().size())}});
     host_.mig().evict_all_foreign([this](int) { evicting_ = false; });
   });
 }
@@ -116,7 +136,7 @@ void LoadShareNode::gossip_tick() {
       body->entries.push_back(e);
       if (body->entries.size() >= 8) break;
     }
-    ++stats_.gossip_sent;
+    c_gossip_sent_->inc();
     host_.rpc().call(peer, ServiceId::kLoadShare,
                      static_cast<int>(LsOp::kGossip), body,
                      [](util::Result<Reply>) {});
@@ -171,7 +191,7 @@ void LoadShareNode::handle_rpc(HostId /*src*/, const Request& req,
             offer->host = host_.id();
             offer->seq = seq;
             offer->load = load();
-            ++stats_.offers_sent;
+            c_offers_sent_->inc();
             host_.rpc().call(requester, ServiceId::kLoadShare,
                              static_cast<int>(LsOp::kOffer), offer,
                              [](util::Result<Reply>) {});

@@ -64,6 +64,7 @@ class LoadShareNode {
     offer_sink_ = std::move(sink);
   }
 
+  // Registry-backed (trace/trace.h); the struct is a refreshed view.
   struct Stats {
     std::int64_t reserves_granted = 0;
     std::int64_t reserves_refused = 0;
@@ -71,7 +72,7 @@ class LoadShareNode {
     std::int64_t gossip_sent = 0;
     std::int64_t offers_sent = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const;
 
  private:
   void handle_rpc(sim::HostId src, const rpc::Request& req,
@@ -88,7 +89,14 @@ class LoadShareNode {
   std::function<void(const OfferReq&)> offer_sink_;
   std::function<void()> on_user_return_;
   bool evicting_ = false;
-  Stats stats_;
+
+  // Registry-backed metrics (trace/trace.h) and the legacy struct view.
+  trace::Counter* c_reserves_granted_;
+  trace::Counter* c_reserves_refused_;
+  trace::Counter* c_evictions_;
+  trace::Counter* c_gossip_sent_;
+  trace::Counter* c_offers_sent_;
+  mutable Stats stats_view_;
 };
 
 }  // namespace sprite::ls

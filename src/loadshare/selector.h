@@ -12,6 +12,7 @@
 
 #include "sim/ids.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 #include "util/stats.h"
 
 namespace sprite::ls {
@@ -36,6 +37,9 @@ class HostSelector {
   // recalls).
   virtual std::vector<sim::HostId> take_revoked() { return {}; }
 
+  // Registry-backed (trace/trace.h); the struct is a refreshed view. The
+  // grant-latency distribution is kept locally (quantiles) and mirrored into
+  // a registry histogram when bound.
   struct Stats {
     std::int64_t requests = 0;
     std::int64_t hosts_granted = 0;
@@ -45,10 +49,64 @@ class HostSelector {
     std::int64_t bad_grants = 0;
     util::Distribution grant_latency_ms;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const {
+    if (c_requests_) {
+      stats_view_.requests = c_requests_->value();
+      stats_view_.hosts_granted = c_granted_->value();
+      stats_view_.empty_grants = c_empty_->value();
+      stats_view_.bad_grants = c_bad_->value();
+    }
+    return stats_view_;
+  }
 
  protected:
-  Stats stats_;
+  // Registers the selector's metrics under `ls.select.*`, attributed to the
+  // requesting host. Subclasses call this from their constructor; an unbound
+  // selector still counts into the plain struct.
+  void bind_metrics(trace::Registry& tr, sim::HostId host) {
+    reg_ = &tr;
+    host_id_ = host;
+    c_requests_ = &tr.counter("ls.select.requested", host);
+    c_granted_ = &tr.counter("ls.select.host_granted", host);
+    c_empty_ = &tr.counter("ls.select.empty_grant", host);
+    c_bad_ = &tr.counter("ls.select.bad_grant", host);
+    h_latency_ = &tr.histogram("ls.select.grant_ms",
+                               trace::default_latency_bounds_ms(), host);
+  }
+
+  void note_request() {
+    if (c_requests_) c_requests_->inc();
+    else ++stats_view_.requests;
+  }
+  // One grant decision finished: `n` hosts after `ms` of selection latency.
+  void note_grant_done(std::int64_t n, double ms) {
+    stats_view_.grant_latency_ms.add(ms);
+    if (c_granted_) {
+      c_granted_->inc(n);
+      if (n == 0) c_empty_->inc();
+      h_latency_->record(ms);
+      if (reg_->tracing())
+        reg_->instant("ls", n == 0 ? "grant empty" : "hosts granted",
+                      host_id_, -1, {{"count", std::to_string(n)}});
+    } else {
+      stats_view_.hosts_granted += n;
+      if (n == 0) ++stats_view_.empty_grants;
+    }
+  }
+  void note_bad_grant() {
+    if (c_bad_) c_bad_->inc();
+    else ++stats_view_.bad_grants;
+  }
+
+ private:
+  trace::Registry* reg_ = nullptr;
+  sim::HostId host_id_ = sim::kInvalidHost;
+  trace::Counter* c_requests_ = nullptr;
+  trace::Counter* c_granted_ = nullptr;
+  trace::Counter* c_empty_ = nullptr;
+  trace::Counter* c_bad_ = nullptr;
+  trace::LatencyHistogram* h_latency_ = nullptr;
+  mutable Stats stats_view_;
 };
 
 }  // namespace sprite::ls

@@ -79,7 +79,9 @@ SharedFileSelector::SharedFileSelector(
       load_path_(std::move(load_path)),
       claim_path_(std::move(claim_path)),
       num_hosts_(num_hosts),
-      ground_truth_(std::move(ground_truth_idle)) {}
+      ground_truth_(std::move(ground_truth_idle)) {
+  bind_metrics(host_.cluster().sim().trace(), host_.id());
+}
 
 void SharedFileSelector::ensure_open(std::function<void(Status)> then) {
   if (load_stream_ && claim_stream_) return then(Status::ok());
@@ -99,7 +101,7 @@ void SharedFileSelector::ensure_open(std::function<void(Status)> then) {
 }
 
 void SharedFileSelector::request_hosts(int n, GrantCb cb) {
-  ++stats_.requests;
+  note_request();
   const Time start = host_.cluster().sim().now();
   ensure_open([this, n, start, cb = std::move(cb)](Status s) mutable {
     if (!s.is_ok()) return cb({});
@@ -144,12 +146,11 @@ void SharedFileSelector::try_claim(
     std::shared_ptr<std::vector<Candidate>> cands, std::size_t i, int want,
     std::shared_ptr<std::vector<HostId>> got, Time start, GrantCb cb) {
   if (static_cast<int>(got->size()) >= want || i >= cands->size()) {
-    stats_.grant_latency_ms.add((host_.cluster().sim().now() - start).ms());
-    stats_.hosts_granted += static_cast<std::int64_t>(got->size());
-    if (got->empty()) ++stats_.empty_grants;
+    note_grant_done(static_cast<std::int64_t>(got->size()),
+                    (host_.cluster().sim().now() - start).ms());
     if (ground_truth_) {
       for (HostId h : *got)
-        if (!ground_truth_(h)) ++stats_.bad_grants;
+        if (!ground_truth_(h)) note_bad_grant();
     }
     cb(*got);
     return;

@@ -31,7 +31,58 @@ const char* strategy_name(VmStrategy s) {
 }
 
 MigrationManager::MigrationManager(kern::Host& host)
-    : host_(host), self_(host.id()) {}
+    : host_(host), self_(host.id()) {
+  trace::Registry& tr = host_.cluster().sim().trace();
+  c_out_ = &tr.counter("mig.out.completed", self_);
+  c_in_ = &tr.counter("mig.in.completed", self_);
+  c_failed_ = &tr.counter("mig.out.failed", self_);
+  c_evictions_ = &tr.counter("mig.eviction.completed", self_);
+  c_cor_pages_ = &tr.counter("mig.cor_page.served", self_);
+  h_total_ms_ = &tr.histogram("mig.migration.total_ms",
+                              trace::default_latency_bounds_ms(), self_);
+  h_freeze_ms_ = &tr.histogram("mig.migration.freeze_ms",
+                               trace::default_latency_bounds_ms(), self_);
+}
+
+const MigrationManager::Stats& MigrationManager::stats() const {
+  stats_view_.out = c_out_->value();
+  stats_view_.in = c_in_->value();
+  stats_view_.failed = c_failed_->value();
+  stats_view_.evictions = c_evictions_->value();
+  stats_view_.cor_pages_served = c_cor_pages_->value();
+  return stats_view_;
+}
+
+void MigrationManager::note_success(const MigrationRecord& rec) {
+  h_total_ms_->record(rec.total_time().ms());
+  h_freeze_ms_->record(rec.freeze_time().ms());
+
+  trace::Registry& tr = host_.cluster().sim().trace();
+  if (!tr.tracing()) return;
+  const auto pid = static_cast<std::int64_t>(rec.pid);
+  // The pipeline is continuation-passing, so the lifecycle spans are emitted
+  // retroactively from the record's timestamps — the thesis's freeze-time
+  // breakdown (init / vm / streams / resume) falls straight out of the trace.
+  tr.span_at("mig",
+             rec.exec_time ? std::string("migrate exec-time")
+                           : std::string("migrate ") +
+                                 strategy_name(rec.strategy),
+             rec.from, pid, rec.started, rec.resumed_at,
+             {{"to", std::to_string(rec.to)},
+              {"pages_moved", std::to_string(rec.pages_moved)},
+              {"pages_flushed", std::to_string(rec.pages_flushed)},
+              {"precopy_rounds", std::to_string(rec.precopy_rounds)},
+              {"streams", std::to_string(rec.streams_moved)}});
+  tr.span_at("mig", "init handshake", rec.from, pid, rec.started,
+             rec.init_done_at);
+  tr.span_at("mig", std::string("vm ") + strategy_name(rec.strategy),
+             rec.from, pid, rec.init_done_at, rec.vm_done_at);
+  tr.span_at("mig", "streams re-attribute", rec.from, pid, rec.vm_done_at,
+             rec.streams_done_at);
+  tr.span_at("mig", "transfer+resume", rec.from, pid, rec.streams_done_at,
+             rec.resumed_at);
+  tr.span_at("mig", "frozen", rec.from, pid, rec.frozen_at, rec.resumed_at);
+}
 
 void MigrationManager::register_services() {
   host_.rpc().register_service(
@@ -407,8 +458,9 @@ void MigrationManager::send_transfer(std::uint64_t token,
               outgoing_.erase(it);
               og.rec.resumed_at = host_.cluster().sim().now();
               host_.procs().remove(og.pcb->pid);
-              ++stats_.out;
+              c_out_->inc();
               records_.push_back(og.rec);
+              note_success(og.rec);
               og.cb(Status::ok());
             });
       });
@@ -419,7 +471,12 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
   if (it == outgoing_.end()) return;
   Outgoing og = std::move(it->second);
   outgoing_.erase(it);
-  ++stats_.failed;
+  c_failed_->inc();
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+    tr.instant("mig", "migrate failed", self_,
+               static_cast<std::int64_t>(og.pcb->pid),
+               {{"to", std::to_string(og.target)},
+                {"why", why.to_string()}});
 
   // Tell the target to drop any pending slot.
   auto abort = std::make_shared<AbortReq>();
@@ -484,7 +541,7 @@ void MigrationManager::evict_all_foreign(std::function<void(int)> cb) {
       // the owner keeps suffering but the process survives.
       if (s.is_ok()) {
         ++prog->evicted;
-        ++stats_.evictions;
+        c_evictions_->inc();
       }
       if (--prog->pending == 0) (*shared_cb)(prog->evicted);
     });
@@ -551,7 +608,11 @@ void MigrationManager::handle_rpc(HostId src, const Request& req,
         respond(Reply{Status(Err::kNoEnt, "no residual image"), nullptr});
         return;
       }
-      stats_.cor_pages_served += body->count;
+      c_cor_pages_->inc(body->count);
+      if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+        tr.instant("mig", "cor pages served", self_, -1,
+                   {{"count", std::to_string(body->count)},
+                    {"to", std::to_string(src)}});
       auto rep = std::make_shared<FetchPagesRep>();
       rep->bytes = body->count * host_.cluster().costs().page_size;
       respond(Reply{Status::ok(), rep});
@@ -609,7 +670,12 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
         pcb->home, ServiceId::kProc,
         static_cast<int>(proc::ProcOp::kUpdateLocation), upd,
         [this, pcb, respond = std::move(respond)](util::Result<Reply>) mutable {
-          ++stats_.in;
+          c_in_->inc();
+          if (trace::Registry& tr = host_.cluster().sim().trace();
+              tr.tracing())
+            tr.instant("mig", "migrated in", self_,
+                       static_cast<std::int64_t>(pcb->pid),
+                       {{"home", std::to_string(pcb->home)}});
           host_.procs().install_and_resume(pcb);
           respond(Reply{Status::ok(), nullptr});
         });

@@ -112,7 +112,7 @@ class MigrationManager : public proc::MigratorIface {
   // returned). cb receives the number evicted once all transfers finish.
   void evict_all_foreign(std::function<void(int)> cb);
 
-  // ---- Statistics ----
+  // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
     std::int64_t out = 0;           // successful migrations away
     std::int64_t in = 0;            // successful migrations in
@@ -120,7 +120,7 @@ class MigrationManager : public proc::MigratorIface {
     std::int64_t evictions = 0;
     std::int64_t cor_pages_served = 0;  // residual-dependency traffic
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const;
   const std::vector<MigrationRecord>& records() const { return records_; }
   const MigrationRecord& last_record() const;
   // Residual dependencies currently held for copy-on-reference sources.
@@ -178,7 +178,19 @@ class MigrationManager : public proc::MigratorIface {
   // Copy-on-reference source images, by asid.
   std::map<std::int64_t, vm::SpacePtr> residual_;
 
-  Stats stats_;
+  // Emits the freeze/vm/streams/resume span breakdown and feeds the latency
+  // histograms once a migration completes.
+  void note_success(const MigrationRecord& rec);
+
+  // Registry-backed metrics (trace/trace.h) and the legacy struct view.
+  trace::Counter* c_out_;
+  trace::Counter* c_in_;
+  trace::Counter* c_failed_;
+  trace::Counter* c_evictions_;
+  trace::Counter* c_cor_pages_;
+  trace::LatencyHistogram* h_total_ms_;
+  trace::LatencyHistogram* h_freeze_ms_;
+  mutable Stats stats_view_;
   std::vector<MigrationRecord> records_;
 };
 

@@ -28,7 +28,25 @@ const char* proc_state_name(ProcState s) {
   return "?";
 }
 
-ProcTable::ProcTable(kern::Host& host) : host_(host), self_(host.id()) {}
+ProcTable::ProcTable(kern::Host& host) : host_(host), self_(host.id()) {
+  trace::Registry& tr = host_.cluster().sim().trace();
+  c_spawns_ = &tr.counter("proc.process.spawned", self_);
+  c_forks_ = &tr.counter("proc.process.forked", self_);
+  c_execs_ = &tr.counter("proc.process.execed", self_);
+  c_exits_ = &tr.counter("proc.process.exited", self_);
+  c_syscalls_ = &tr.counter("proc.syscall.entered", self_);
+  c_forwarded_ = &tr.counter("proc.syscall.forwarded_home", self_);
+}
+
+const ProcTable::Stats& ProcTable::stats() const {
+  stats_view_.spawns = c_spawns_->value();
+  stats_view_.forks = c_forks_->value();
+  stats_view_.execs = c_execs_->value();
+  stats_view_.exits = c_exits_->value();
+  stats_view_.syscalls = c_syscalls_->value();
+  stats_view_.forwarded_calls = c_forwarded_->value();
+  return stats_view_;
+}
 
 void ProcTable::register_services() {
   host_.rpc().register_service(
@@ -73,7 +91,11 @@ void ProcTable::spawn(const std::string& exe_path,
         pcb->space = *r;
         pcb->program = image->factory(pcb->args);
         procs_[pcb->pid] = pcb;
-        ++stats_.spawns;
+        c_spawns_->inc();
+        if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+          tr.instant("proc", "spawn", self_,
+                     static_cast<std::int64_t>(pcb->pid),
+                     {{"exe", pcb->exe_path}});
         continue_process(pcb);
         cb(pcb->pid);
       });
@@ -167,7 +189,7 @@ void ProcTable::finish_action(const PcbPtr& pcb) {
 }
 
 void ProcTable::syscall_enter(const PcbPtr& pcb, std::function<void()> fn) {
-  ++stats_.syscalls;
+  c_syscalls_->inc();
   pcb->state = ProcState::kBlocked;
   host_.cpu().submit(JobClass::kKernel, host_.cluster().costs().syscall_cpu,
                      std::move(fn));
@@ -529,7 +551,7 @@ void ProcTable::do_pdev_call(const PcbPtr& pcb, const SysPdevCall& a) {
 // ---------------------------------------------------------------------------
 
 void ProcTable::do_fork(const PcbPtr& pcb) {
-  if (pcb->home != self_) ++stats_.forwarded_calls;
+  if (pcb->home != self_) c_forwarded_->inc();
   auto body = std::make_shared<ForkChildReq>();
   body->parent = pcb->pid;
   body->child_host = self_;
@@ -590,7 +612,7 @@ void ProcTable::do_fork(const PcbPtr& pcb) {
                     }
                     child->space = *r;
                     procs_[child->pid] = child;
-                    ++stats_.forks;
+                    c_forks_->inc();
                     if (parent) {
                       parent->view.rv =
                           static_cast<std::int64_t>(child->pid);
@@ -665,7 +687,7 @@ void ProcTable::do_exec(const PcbPtr& pcb, const SysExec& a) {
               p->space = *r;
               p->program = image->factory(p->args);
               p->state = ProcState::kRunnable;
-              ++stats_.execs;
+              c_execs_->inc();
               continue_process(p);
             });
       });
@@ -705,7 +727,7 @@ void ProcTable::do_exec(const PcbPtr& pcb, const SysExec& a) {
                 p->space = *r;
                 p->program = image->factory(p->args);
                 p->view.clear_result();
-                ++stats_.execs;
+                c_execs_->inc();
                 continue_process(p);
               });
         });
@@ -722,8 +744,11 @@ void ProcTable::do_exit(const PcbPtr& pcb, int status) {
     return;
   pcb->state = ProcState::kZombie;
   pcb->kill_pending = false;
-  ++stats_.exits;
-  if (pcb->home != self_) ++stats_.forwarded_calls;
+  c_exits_->inc();
+  if (pcb->home != self_) c_forwarded_->inc();
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+    tr.instant("proc", "exit", self_, static_cast<std::int64_t>(pcb->pid),
+               {{"status", std::to_string(status)}});
 
   // Release descriptors (server refs drop when the last local ref closes).
   std::vector<fs::StreamPtr> to_close;
@@ -788,7 +813,7 @@ void ProcTable::do_wait(const PcbPtr& pcb) {
     apply(home_wait(pcb->pid, self_));
     return;
   }
-  ++stats_.forwarded_calls;
+  c_forwarded_->inc();
   auto body = std::make_shared<WaitReq>();
   body->parent = pcb->pid;
   body->waiter_host = self_;
@@ -809,7 +834,7 @@ void ProcTable::do_wait(const PcbPtr& pcb) {
 
 void ProcTable::do_kill(const PcbPtr& pcb, const SysKill& a) {
   const HostId target_home = pid_home(a.pid);
-  if (target_home != self_) ++stats_.forwarded_calls;
+  if (target_home != self_) c_forwarded_->inc();
   auto body = std::make_shared<SignalReq>();
   body->pid = a.pid;
   body->sig = a.sig;
@@ -830,7 +855,7 @@ void ProcTable::do_get_host_name(const PcbPtr& pcb) {
     return finish_action(pcb);
   }
   // Forwarded home: the process must appear to run on its home machine.
-  ++stats_.forwarded_calls;
+  c_forwarded_->inc();
   const Pid pid = pcb->pid;
   host_.rpc().call(pcb->home, ServiceId::kProc,
                    static_cast<int>(ProcOp::kGetHostName), nullptr,
@@ -851,7 +876,7 @@ void ProcTable::do_get_host_name(const PcbPtr& pcb) {
 void ProcTable::do_migrate_self(const PcbPtr& pcb, const SysMigrateSelf& a) {
   // Per the dispatch table, the migrate call is forwarded home first: the
   // home machine validates the process and records intent.
-  if (pcb->home != self_) ++stats_.forwarded_calls;
+  if (pcb->home != self_) c_forwarded_->inc();
   auto body = std::make_shared<MigrateRequestReq>();
   body->pid = pcb->pid;
   body->target = a.target;
@@ -993,7 +1018,7 @@ void ProcTable::install_and_resume(const PcbPtr& pcb) {
 
 void ProcTable::forward_file_call(const PcbPtr& pcb,
                                   std::shared_ptr<FileCallReq> req) {
-  ++stats_.forwarded_calls;
+  c_forwarded_->inc();
   req->pid = pcb->pid;
   const Pid pid = pcb->pid;
   host_.rpc().call(

@@ -74,6 +74,7 @@ class ProcTable {
   bool home_record_alive(Pid pid) const;
   sim::HostId home_record_location(Pid pid) const;
 
+  // Registry-backed (trace/trace.h); the struct is a refreshed view.
   struct Stats {
     std::int64_t spawns = 0;
     std::int64_t forks = 0;
@@ -82,7 +83,7 @@ class ProcTable {
     std::int64_t syscalls = 0;
     std::int64_t forwarded_calls = 0;  // executed via the home machine
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const;
 
   // ---- Hooks for the migration module ----
   // Suspends the process at its next safe point (immediately if computing —
@@ -180,7 +181,15 @@ class ProcTable {
   std::map<Pid, HomeRecord> home_records_;
   std::uint32_t next_seq_ = 1;
   MigratorIface* migrator_ = nullptr;
-  Stats stats_;
+
+  // Registry-backed metrics (trace/trace.h) and the legacy struct view.
+  trace::Counter* c_spawns_;
+  trace::Counter* c_forks_;
+  trace::Counter* c_execs_;
+  trace::Counter* c_exits_;
+  trace::Counter* c_syscalls_;
+  trace::Counter* c_forwarded_;
+  mutable Stats stats_view_;
 };
 
 }  // namespace sprite::proc

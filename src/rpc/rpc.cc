@@ -9,9 +9,29 @@ using sim::HostId;
 using sim::JobClass;
 using sim::Time;
 
+const char* service_name(ServiceId id) {
+  switch (id) {
+    case ServiceId::kEcho: return "echo";
+    case ServiceId::kFsName: return "fs-name";
+    case ServiceId::kFsIo: return "fs-io";
+    case ServiceId::kFsCallback: return "fs-callback";
+    case ServiceId::kProc: return "proc";
+    case ServiceId::kMigration: return "migration";
+    case ServiceId::kLoadShare: return "loadshare";
+    case ServiceId::kPdev: return "pdev";
+  }
+  return "?";
+}
+
 RpcNode::RpcNode(sim::Simulator& sim, sim::Network& net, sim::Cpu& cpu,
                  HostId self, const sim::Costs& costs)
-    : sim_(sim), net_(net), cpu_(cpu), self_(self), costs_(costs) {}
+    : sim_(sim), net_(net), cpu_(cpu), self_(self), costs_(costs) {
+  trace::Registry& tr = sim_.trace();
+  c_started_ = &tr.counter("rpc.call.started", self_);
+  c_retrans_ = &tr.counter("rpc.call.retransmitted", self_);
+  c_timeouts_ = &tr.counter("rpc.call.timedout", self_);
+  c_served_ = &tr.counter("rpc.request.served", self_);
+}
 
 void RpcNode::register_service(ServiceId id, Handler handler) {
   SPRITE_CHECK_MSG(services_.find(id) == services_.end(),
@@ -21,7 +41,20 @@ void RpcNode::register_service(ServiceId id, Handler handler) {
 
 void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
                    ReplyCallback on_reply) {
-  ++calls_started_;
+  c_started_->inc();
+
+  // Span covering the whole client-side call, local or remote, until the
+  // reply callback fires. One branch when tracing is disabled.
+  if (trace::Registry & tr = sim_.trace(); tr.tracing()) {
+    const trace::SpanId sp = tr.begin_span(
+        "rpc", std::string("call ") + service_name(service), self_, -1,
+        {{"dst", std::to_string(dst)}, {"op", std::to_string(op)}});
+    on_reply = [&tr, sp, cb = std::move(on_reply)](util::Result<Reply> r) {
+      const bool ok = r.is_ok() && r->status.is_ok();
+      tr.end_span(sp, {{"ok", ok ? "1" : "0"}});
+      cb(std::move(r));
+    };
+  }
 
   if (dst == self_) {
     // Local fast path: dispatch through the same table, no network, no
@@ -78,13 +111,16 @@ void RpcNode::arm_timeout(std::uint64_t call_id) {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;
     if (it->second.attempts > costs_.rpc_max_retries) {
-      ++timeouts_;
+      c_timeouts_->inc();
       auto cb = std::move(it->second.on_reply);
       pending_.erase(it);
       cb(util::Status(util::Err::kTimedOut, "rpc retries exhausted"));
       return;
     }
-    ++retransmissions_;
+    c_retrans_->inc();
+    if (trace::Registry& tr = sim_.trace(); tr.tracing())
+      tr.instant("rpc", "retransmit", self_, -1,
+                 {{"dst", std::to_string(it->second.dst)}});
     transmit(call_id);
   });
 }
@@ -120,7 +156,7 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     // One-way multicast: dispatch with a reply sink that goes nowhere.
     auto svc_it = services_.find(wreq.req.service);
     if (svc_it == services_.end()) return;
-    ++requests_served_;
+    c_served_->inc();
     svc_it->second(src, wreq.req, [](Reply) {});
     return;
   }
@@ -139,9 +175,10 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
 
   if (served_.size() > 4096) served_.erase(served_.begin());
   served_.emplace(key, ServerSlot{});
-  ++requests_served_;
+  c_served_->inc();
 
-  auto respond = [this, src, call_id = wreq.call_id, key](Reply rep) {
+  std::function<void(Reply)> respond = [this, src, call_id = wreq.call_id,
+                                        key](Reply rep) {
     auto it = served_.find(key);
     if (it != served_.end()) {
       it->second.completed = true;
@@ -155,6 +192,17 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
                             std::any(std::move(w)));
                 });
   };
+
+  // Span covering the server-side dispatch until the handler responds.
+  if (trace::Registry & tr = sim_.trace(); tr.tracing()) {
+    const trace::SpanId sp = tr.begin_span(
+        "rpc", std::string("serve ") + service_name(wreq.req.service), self_,
+        -1, {{"src", std::to_string(src)}, {"op", std::to_string(wreq.req.op)}});
+    respond = [&tr, sp, inner = std::move(respond)](Reply rep) {
+      tr.end_span(sp, {{"ok", rep.status.is_ok() ? "1" : "0"}});
+      inner(std::move(rep));
+    };
+  }
 
   auto svc_it = services_.find(wreq.req.service);
   if (svc_it == services_.end()) {

@@ -54,6 +54,7 @@ enum class ServiceId : int {
   kLoadShare,    // host-selection protocols
   kPdev,         // pseudo-device request forwarding
 };
+const char* service_name(ServiceId id);
 
 struct Request {
   ServiceId service{};
@@ -107,11 +108,11 @@ class RpcNode {
   // are assigned by Network::attach).
   void handle_packet(const sim::Packet& pkt);
 
-  // ---- statistics ----
-  std::int64_t calls_started() const { return calls_started_; }
-  std::int64_t retransmissions() const { return retransmissions_; }
-  std::int64_t timeouts() const { return timeouts_; }
-  std::int64_t requests_served() const { return requests_served_; }
+  // ---- statistics (registry-backed; see trace/trace.h) ----
+  std::int64_t calls_started() const { return c_started_->value(); }
+  std::int64_t retransmissions() const { return c_retrans_->value(); }
+  std::int64_t timeouts() const { return c_timeouts_->value(); }
+  std::int64_t requests_served() const { return c_served_->value(); }
 
  private:
   struct WireRequest {
@@ -155,10 +156,12 @@ class RpcNode {
   };
   std::map<std::pair<sim::HostId, std::uint64_t>, ServerSlot> served_;
 
-  std::int64_t calls_started_ = 0;
-  std::int64_t retransmissions_ = 0;
-  std::int64_t timeouts_ = 0;
-  std::int64_t requests_served_ = 0;
+  // Per-host counters in the simulator's trace registry (stable addresses,
+  // cached once at construction).
+  trace::Counter* c_started_;
+  trace::Counter* c_retrans_;
+  trace::Counter* c_timeouts_;
+  trace::Counter* c_served_;
 };
 
 }  // namespace sprite::rpc

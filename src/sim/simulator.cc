@@ -5,7 +5,9 @@
 
 namespace sprite::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+Simulator::Simulator(std::uint64_t seed)
+    : rng_(seed),
+      trace_(std::make_unique<trace::Registry>([this] { return now_.us(); })) {
   util::set_log_time_source([this] { return now_.us(); });
 }
 

@@ -1,4 +1,4 @@
-// The Simulator: simulated clock + event loop + root RNG.
+// The Simulator: simulated clock + event loop + root RNG + trace registry.
 //
 // All kernel mechanisms in this repository are event-driven objects hanging
 // off one Simulator. A run is deterministic given the seed.
@@ -10,6 +10,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace sprite::sim {
@@ -60,11 +61,18 @@ class Simulator {
   util::Rng fork_rng() { return rng_.fork(); }
   util::Rng& rng() { return rng_; }
 
+  // Unified metrics + tracing registry for everything attached to this
+  // simulator. Metrics are always collected; event tracing is off until
+  // trace().set_tracing(true).
+  trace::Registry& trace() { return *trace_; }
+  const trace::Registry& trace() const { return *trace_; }
+
  private:
   Time now_;
   Time horizon_ = Time::hours(24);
   EventQueue queue_;
   util::Rng rng_;
+  std::unique_ptr<trace::Registry> trace_;
 };
 
 }  // namespace sprite::sim

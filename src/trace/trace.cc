@@ -1,0 +1,327 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/assert.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace sprite::trace {
+
+namespace {
+
+// Only one registry at a time may capture kTrace log lines (the same
+// last-wins discipline the log time source uses across Simulators).
+Registry* g_log_sink_owner = nullptr;
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Chrome "pid" must be non-negative; unattributable events (global log
+// lines, cluster-wide bookkeeping) render under one synthetic process.
+constexpr int kGlobalPid = 999;
+
+int chrome_pid(sim::HostId h) {
+  return h == sim::kInvalidHost ? kGlobalPid : static_cast<int>(h);
+}
+
+void append_args(std::string& out, const Args& args, std::int64_t pid) {
+  out += ",\"args\":{";
+  bool first = true;
+  if (pid >= 0) {
+    out += "\"pid\":";
+    out += std::to_string(pid);
+    first = false;
+  }
+  for (const auto& [k, v] : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, k);
+    out += "\":\"";
+    json_escape_into(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+LatencyHistogram::LatencyHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  SPRITE_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be sorted");
+}
+
+void LatencyHistogram::record(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v >= bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Registry(std::function<std::int64_t()> now_us)
+    : now_us_(std::move(now_us)) {
+  SPRITE_CHECK(now_us_ != nullptr);
+}
+
+Registry::~Registry() {
+  if (g_log_sink_owner == this) {
+    util::set_log_trace_sink(nullptr);
+    g_log_sink_owner = nullptr;
+  }
+}
+
+void Registry::set_tracing(bool on) {
+  tracing_ = on;
+  if (on) {
+    g_log_sink_owner = this;
+    util::set_log_trace_sink([this](const char* tag, const char* body) {
+      instant(tag, body, sim::kInvalidHost);
+    });
+  } else if (g_log_sink_owner == this) {
+    util::set_log_trace_sink(nullptr);
+    g_log_sink_owner = nullptr;
+  }
+}
+
+void Registry::set_host_name(sim::HostId h, std::string name) {
+  host_names_[h] = std::move(name);
+}
+
+Counter& Registry::counter(const std::string& name, sim::HostId host) {
+  return counters_[{name, host}];
+}
+
+Gauge& Registry::gauge(const std::string& name, sim::HostId host) {
+  return gauges_[{name, host}];
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      sim::HostId host) {
+  auto it = histograms_.find({name, host});
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::make_pair(name, host),
+                      LatencyHistogram(std::move(bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+std::int64_t Registry::counter_value(const std::string& name,
+                                     sim::HostId host) const {
+  auto it = counters_.find({name, host});
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+int Registry::lane_for(const std::string& cat) {
+  auto it = lanes_.find(cat);
+  if (it == lanes_.end())
+    it = lanes_.emplace(cat, static_cast<int>(lanes_.size()) + 1).first;
+  return it->second;
+}
+
+bool Registry::record(Event e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(e));
+  return true;
+}
+
+SpanId Registry::begin_span(std::string cat, std::string name,
+                            sim::HostId host, std::int64_t pid, Args args) {
+  if (!tracing_) return 0;
+  const SpanId id = next_span_++;
+  const int lane = lane_for(cat);
+  if (!record(Event{'b', now_us_(), host, pid, id, lane, cat, name,
+                    std::move(args)}))
+    return 0;
+  open_spans_.emplace(id, OpenSpan{std::move(cat), std::move(name), host,
+                                   pid, lane});
+  return id;
+}
+
+void Registry::end_span(SpanId id, Args args) {
+  if (id == 0) return;
+  auto it = open_spans_.find(id);
+  if (it == open_spans_.end()) return;  // events were cleared meanwhile
+  OpenSpan sp = std::move(it->second);
+  open_spans_.erase(it);
+  if (!tracing_) return;
+  record(Event{'e', now_us_(), sp.host, sp.pid, id, sp.lane,
+               std::move(sp.cat), std::move(sp.name), std::move(args)});
+}
+
+void Registry::instant(std::string cat, std::string name, sim::HostId host,
+                       std::int64_t pid, Args args) {
+  if (!tracing_) return;
+  const int lane = lane_for(cat);
+  record(Event{'i', now_us_(), host, pid, 0, lane, std::move(cat),
+               std::move(name), std::move(args)});
+}
+
+void Registry::span_at(std::string cat, std::string name, sim::HostId host,
+                       std::int64_t pid, sim::Time begin, sim::Time end,
+                       Args args) {
+  if (!tracing_) return;
+  const SpanId id = next_span_++;
+  const int lane = lane_for(cat);
+  record(Event{'b', begin.us(), host, pid, id, lane, cat, name,
+               std::move(args)});
+  record(Event{'e', end.us(), host, pid, id, lane, std::move(cat),
+               std::move(name), {}});
+}
+
+void Registry::clear_events() {
+  events_.clear();
+  open_spans_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+std::string Registry::chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: hosts as processes, categories as per-process threads.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> threads;  // (pid, lane)
+  for (const auto& e : events_) {
+    pids.insert(chrome_pid(e.host));
+    threads.insert({chrome_pid(e.host), e.lane});
+  }
+  // lane -> category name (lanes_ is cat -> lane).
+  std::map<int, std::string> lane_names;
+  for (const auto& [cat, lane] : lanes_) lane_names[lane] = cat;
+
+  for (int pid : pids) {
+    std::string name = pid == kGlobalPid ? "cluster" : "host";
+    if (pid != kGlobalPid) {
+      auto it = host_names_.find(static_cast<sim::HostId>(pid));
+      name = it != host_names_.end() ? it->second
+                                     : "host" + std::to_string(pid);
+    }
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    json_escape_into(out, name);
+    out += "\"}}";
+  }
+  for (const auto& [pid, lane] : threads) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(lane) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(out, lane_names.count(lane) ? lane_names[lane] : "?");
+    out += "\"}}";
+  }
+
+  for (const auto& e : events_) {
+    sep();
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"cat\":\"";
+    json_escape_into(out, e.cat);
+    out += "\",\"name\":\"";
+    json_escape_into(out, e.name);
+    out += "\",\"pid\":" + std::to_string(chrome_pid(e.host)) +
+           ",\"tid\":" + std::to_string(e.lane) +
+           ",\"ts\":" + std::to_string(e.ts_us);
+    if (e.phase == 'b' || e.phase == 'e') {
+      char idbuf[24];
+      std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                    static_cast<unsigned long long>(e.id));
+      out += ",\"id\":\"";
+      out += idbuf;
+      out += '"';
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    append_args(out, e.args, e.pid);
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+util::Status Registry::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return util::Status(util::Err::kNoEnt, "cannot open " + path);
+  const std::string json = chrome_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size())
+    return util::Status(util::Err::kNoSpace, "short write to " + path);
+  return util::Status::ok();
+}
+
+std::string Registry::metrics_report() const {
+  util::Table t({"metric", "host", "value"});
+  auto host_cell = [](sim::HostId h) {
+    return h == sim::kInvalidHost ? std::string("-") : std::to_string(h);
+  };
+  for (const auto& [key, c] : counters_) {
+    if (c.value() == 0) continue;  // keep the snapshot legible
+    t.add_row({key.first, host_cell(key.second), std::to_string(c.value())});
+  }
+  for (const auto& [key, g] : gauges_)
+    t.add_row({key.first, host_cell(key.second), util::Table::num(g.value())});
+  for (const auto& [key, h] : histograms_) {
+    if (h.count() == 0) continue;
+    t.add_row({key.first, host_cell(key.second),
+               "n=" + std::to_string(h.count()) +
+                   " mean=" + util::Table::num(h.mean()) +
+                   " sum=" + util::Table::num(h.sum())});
+  }
+  return t.to_string();
+}
+
+}  // namespace sprite::trace

@@ -1,0 +1,195 @@
+// Unified tracing & metrics registry.
+//
+// One Registry hangs off each Simulator, so every measurement is stamped
+// with the simulated clock and runs stay deterministic and single-threaded
+// (no atomics anywhere). Two kinds of data flow through it:
+//
+//   * Metrics — named counters, gauges, and fixed-bucket latency histograms,
+//     keyed by (name, host). Always on: they are plain integer/double work,
+//     and the legacy per-subsystem Stats structs are thin views over them.
+//     Naming convention: `subsystem.noun.verb` ("fs.server.open",
+//     "mig.page.flushed").
+//
+//   * Events — begin/end spans and instant events with host/pid attribution.
+//     Gated: a disabled registry costs exactly one branch per site and
+//     records nothing. Enabled, events accumulate in memory and export as
+//     Chrome `trace_event` JSON (open in chrome://tracing or Perfetto):
+//     hosts render as "processes", subsystems (event categories) as
+//     "threads".
+//
+// Because kernel mechanisms are continuation-passing, spans are token-based
+// rather than RAII: begin_span() returns a SpanId the caller threads through
+// its callback chain to end_span(). Code that already has both endpoints on
+// hand (e.g. a MigrationRecord) emits the span retroactively via span_at().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace sprite::trace {
+
+using SpanId = std::uint64_t;
+// Small key/value annotations attached to an event ("pages" -> "256").
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+// Default millisecond bucket boundaries for latency histograms: roughly
+// logarithmic from sub-millisecond RPCs to multi-second bulk transfers.
+inline std::vector<double> default_latency_bounds_ms() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+}
+
+// A monotonically increasing integer metric. Addresses are stable for the
+// registry's lifetime, so instrumented subsystems cache the pointer once.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_ += n; }
+  std::int64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+// A point-in-time measurement (load average, queue depth).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Fixed-boundary latency histogram: buckets [0,b0), [b0,b1), ...,
+// [b_last, inf). Bounds are fixed at creation so accumulation is O(buckets)
+// and export is deterministic.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::vector<double> bounds);
+
+  void record(double v);
+  void record(sim::Time t) { record(t.ms()); }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last bucket is the overflow bucket.
+  std::int64_t bucket(std::size_t i) const { return counts_[i]; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;  // bounds_.size() + 1
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// One recorded trace event. phase: 'b' span begin, 'e' span end,
+// 'i' instant.
+struct Event {
+  char phase = 'i';
+  std::int64_t ts_us = 0;
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t pid = -1;  // sprite process id; -1 when not attributable
+  SpanId id = 0;          // links 'b'/'e' pairs
+  int lane = 0;           // per-category display lane ("thread")
+  std::string cat;        // subsystem: "rpc", "mig", "vm", "fs", "proc", "ls"
+  std::string name;
+  Args args;
+};
+
+class Registry {
+ public:
+  explicit Registry(std::function<std::int64_t()> now_us);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // ---- Event gating ----
+  // Enabling also routes kTrace-level SPRITE_LOG lines into the stream as
+  // instant events, so log and trace timelines line up.
+  bool tracing() const { return tracing_; }
+  void set_tracing(bool on);
+
+  // ---- Display names (Chrome "process_name" metadata) ----
+  void set_host_name(sim::HostId h, std::string name);
+
+  // ---- Metrics (always on) ----
+  // host = kInvalidHost scopes a metric to the whole cluster.
+  Counter& counter(const std::string& name,
+                   sim::HostId host = sim::kInvalidHost);
+  Gauge& gauge(const std::string& name, sim::HostId host = sim::kInvalidHost);
+  // Bounds are fixed by the first call for a given (name, host).
+  LatencyHistogram& histogram(const std::string& name,
+                              std::vector<double> bounds,
+                              sim::HostId host = sim::kInvalidHost);
+  // 0 when the counter was never touched (tests, reporting).
+  std::int64_t counter_value(const std::string& name,
+                             sim::HostId host = sim::kInvalidHost) const;
+
+  // ---- Events (recorded only while tracing) ----
+  // Returns 0 when tracing is disabled; end_span(0) is a no-op.
+  SpanId begin_span(std::string cat, std::string name, sim::HostId host,
+                    std::int64_t pid = -1, Args args = {});
+  void end_span(SpanId id, Args args = {});
+  void instant(std::string cat, std::string name, sim::HostId host,
+               std::int64_t pid = -1, Args args = {});
+  // Retroactive span with explicit endpoints (e.g. from a MigrationRecord).
+  void span_at(std::string cat, std::string name, sim::HostId host,
+               std::int64_t pid, sim::Time begin, sim::Time end,
+               Args args = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  std::int64_t dropped_events() const { return dropped_; }
+  void clear_events();
+  // Safety valve for very long traced runs (default 4M events).
+  void set_max_events(std::size_t n) { max_events_ = n; }
+
+  // ---- Export ----
+  // Chrome trace_event JSON: hosts as processes, categories as threads.
+  // Byte-identical across runs with the same seed.
+  std::string chrome_json() const;
+  util::Status write_chrome_json(const std::string& path) const;
+  // Human-readable snapshot of every metric, via util/table.
+  std::string metrics_report() const;
+
+ private:
+  struct OpenSpan {
+    std::string cat;
+    std::string name;
+    sim::HostId host = sim::kInvalidHost;
+    std::int64_t pid = -1;
+    int lane = 0;
+  };
+
+  int lane_for(const std::string& cat);
+  bool record(Event e);
+
+  std::function<std::int64_t()> now_us_;
+  bool tracing_ = false;
+
+  std::map<std::pair<std::string, sim::HostId>, Counter> counters_;
+  std::map<std::pair<std::string, sim::HostId>, Gauge> gauges_;
+  std::map<std::pair<std::string, sim::HostId>, LatencyHistogram> histograms_;
+
+  std::vector<Event> events_;
+  std::map<SpanId, OpenSpan> open_spans_;
+  std::map<std::string, int> lanes_;  // category -> display lane
+  std::map<sim::HostId, std::string> host_names_;
+  SpanId next_span_ = 1;
+  std::size_t max_events_ = 4u << 20;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace sprite::trace

@@ -7,6 +7,7 @@ namespace sprite::util {
 namespace {
 LogLevel g_level = LogLevel::kWarn;
 std::function<std::int64_t()> g_time_source;
+std::function<void(const char*, const char*)> g_trace_sink;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -28,13 +29,24 @@ void set_log_time_source(std::function<std::int64_t()> now_us) {
   g_time_source = std::move(now_us);
 }
 
+void set_log_trace_sink(
+    std::function<void(const char* tag, const char* body)> sink) {
+  g_trace_sink = std::move(sink);
+}
+
+bool log_trace_sink_active() { return static_cast<bool>(g_trace_sink); }
+
 void logf(LogLevel level, const char* tag, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  const bool to_console = static_cast<int>(level) >= static_cast<int>(g_level);
+  const bool to_trace = level == LogLevel::kTrace && g_trace_sink;
+  if (!to_console && !to_trace) return;
   char body[1024];
   va_list ap;
   va_start(ap, fmt);
   std::vsnprintf(body, sizeof body, fmt, ap);
   va_end(ap);
+  if (to_trace) g_trace_sink(tag, body);
+  if (!to_console) return;
   if (g_time_source) {
     const std::int64_t us = g_time_source();
     std::fprintf(stderr, "[%s %10.3fms %-4s] %s\n", level_name(level),

@@ -23,6 +23,14 @@ LogLevel log_level();
 // pass nullptr to clear. Owned by the active Simulator.
 void set_log_time_source(std::function<std::int64_t()> now_us);
 
+// When a trace registry is active it installs a sink here; kTrace-level log
+// statements are then delivered (pre-formatted) to the sink as well, even
+// when the console log level would suppress them, so the log and trace
+// timelines line up. Pass nullptr to clear.
+void set_log_trace_sink(
+    std::function<void(const char* tag, const char* body)> sink);
+bool log_trace_sink_active();
+
 // printf-style log statement. `tag` identifies the subsystem
 // ("rpc", "fs", "mig", ...).
 void logf(LogLevel level, const char* tag, const char* fmt, ...)
@@ -33,7 +41,9 @@ void logf(LogLevel level, const char* tag, const char* fmt, ...)
 #define SPRITE_LOG(level, tag, ...)                                   \
   do {                                                                \
     if (static_cast<int>(level) >=                                    \
-        static_cast<int>(::sprite::util::log_level()))                \
+            static_cast<int>(::sprite::util::log_level()) ||          \
+        ((level) == ::sprite::util::LogLevel::kTrace &&               \
+         ::sprite::util::log_trace_sink_active()))                    \
       ::sprite::util::logf((level), (tag), __VA_ARGS__);              \
   } while (0)
 

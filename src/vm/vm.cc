@@ -72,7 +72,14 @@ std::int64_t AddressSpace::dirty_pages() const {
 
 VmManager::VmManager(sim::Simulator& sim, sim::Cpu& cpu, fs::FsClient& fs,
                      const sim::Costs& costs, sim::HostId self)
-    : sim_(sim), cpu_(cpu), fs_(fs), costs_(costs), self_(self) {}
+    : sim_(sim), cpu_(cpu), fs_(fs), costs_(costs), self_(self) {
+  trace::Registry& tr = sim_.trace();
+  c_faults_ = &tr.counter("vm.page.faulted", self_);
+  c_pages_in_ = &tr.counter("vm.page.paged_in", self_);
+  c_zero_fill_ = &tr.counter("vm.page.zero_filled", self_);
+  c_flushed_ = &tr.counter("vm.page.flushed", self_);
+  c_from_remote_ = &tr.counter("vm.page.remote_pulled", self_);
+}
 
 std::string VmManager::swap_path(std::int64_t asid, Segment seg) const {
   return "/swap/as" + std::to_string(asid) + "." + segment_name(seg);
@@ -207,7 +214,13 @@ void VmManager::fault_runs(
   const auto [first, count] = runs[i];
   const bool remote = st.in_remote[static_cast<std::size_t>(first)];
   const bool backed = !remote && st.in_backing[static_cast<std::size_t>(first)];
-  stats_.faults += count;
+  c_faults_->inc(count);
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("vm", "demand-page", self_, -1,
+               {{"seg", segment_name(seg)},
+                {"first", std::to_string(first)},
+                {"count", std::to_string(count)},
+                {"source", remote ? "remote" : backed ? "backing" : "zero"}});
 
   auto mark_resident = [this, space, seg, first = first, count = count, backed,
                         remote] {
@@ -217,11 +230,11 @@ void VmManager::fault_runs(
       st.in_remote[static_cast<std::size_t>(p)] = false;
     }
     if (remote) {
-      stats_.pages_from_remote += count;
+      c_from_remote_->inc(count);
     } else if (backed) {
-      stats_.pages_in += count;
+      c_pages_in_->inc(count);
     } else {
-      stats_.pages_zero_fill += count;
+      c_zero_fill_->inc(count);
     }
   };
 
@@ -330,7 +343,12 @@ void VmManager::flush_segment_runs(
                 st.dirty[static_cast<std::size_t>(p)] = false;
                 st.in_backing[static_cast<std::size_t>(p)] = true;
               }
-              stats_.pages_flushed += count;
+              c_flushed_->inc(count);
+              if (trace::Registry& tr = sim_.trace(); tr.tracing())
+                tr.instant("vm", "page flush", self_, -1,
+                           {{"seg", segment_name(seg)},
+                            {"first", std::to_string(first)},
+                            {"count", std::to_string(count)}});
               flush_segment_runs(space, seg, std::move(runs), i + 1,
                                  std::move(cb));
             });

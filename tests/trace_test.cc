@@ -1,0 +1,324 @@
+// Tests for the tracing & metrics registry: metric accumulation, event
+// gating, span pairing, determinism of the Chrome JSON export, and the
+// kernel instrumentation (migration lifecycle spans).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/sprite.h"
+#include "kern/cluster.h"
+#include "proc/script.h"
+#include "proc/table.h"
+#include "trace/trace.h"
+
+namespace sprite::trace {
+namespace {
+
+using core::SpriteCluster;
+using proc::ScriptBuilder;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validator (objects, arrays, strings, numbers, literals) —
+// enough to prove the export is well-formed without a JSON dependency.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry unit tests (fake clock).
+// ---------------------------------------------------------------------------
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : reg_([this] { return now_us_; }) {}
+
+  std::int64_t now_us_ = 0;
+  Registry reg_;
+};
+
+TEST_F(RegistryTest, CountersAccumulateAndAreKeyedByHost) {
+  Counter& a = reg_.counter("x.y.z", 1);
+  Counter& b = reg_.counter("x.y.z", 2);
+  a.inc();
+  a.inc(4);
+  b.inc();
+  EXPECT_EQ(reg_.counter_value("x.y.z", 1), 5);
+  EXPECT_EQ(reg_.counter_value("x.y.z", 2), 1);
+  EXPECT_EQ(reg_.counter_value("x.y.z", 3), 0);       // never touched
+  EXPECT_EQ(reg_.counter_value("no.such.metric"), 0);
+  // Addresses are stable: a second lookup returns the same counter.
+  EXPECT_EQ(&reg_.counter("x.y.z", 1), &a);
+}
+
+TEST_F(RegistryTest, HistogramBucketsAndMean) {
+  LatencyHistogram& h = reg_.histogram("m.lat.ms", {1.0, 10.0, 100.0});
+  h.record(0.5);    // [0,1)
+  h.record(5.0);    // [1,10)
+  h.record(50.0);   // [10,100)
+  h.record(500.0);  // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 5.0 + 50.0 + 500.0) / 4.0);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 1);
+}
+
+TEST_F(RegistryTest, DisabledRegistryRecordsNoEvents) {
+  ASSERT_FALSE(reg_.tracing());
+  EXPECT_EQ(reg_.begin_span("cat", "name", 0), 0u);
+  reg_.end_span(0);
+  reg_.instant("cat", "name", 0);
+  reg_.span_at("cat", "name", 0, -1, Time::usec(1), Time::usec(2));
+  EXPECT_TRUE(reg_.events().empty());
+  EXPECT_EQ(reg_.dropped_events(), 0);
+  // Metrics still work while events are off.
+  reg_.counter("c").inc();
+  EXPECT_EQ(reg_.counter_value("c"), 1);
+}
+
+TEST_F(RegistryTest, SpanPairingAndTimestamps) {
+  reg_.set_tracing(true);
+  now_us_ = 100;
+  const SpanId id = reg_.begin_span("rpc", "call", 3, 7, {{"k", "v"}});
+  ASSERT_NE(id, 0u);
+  now_us_ = 250;
+  reg_.end_span(id);
+  ASSERT_EQ(reg_.events().size(), 2u);
+  const Event& b = reg_.events()[0];
+  const Event& e = reg_.events()[1];
+  EXPECT_EQ(b.phase, 'b');
+  EXPECT_EQ(e.phase, 'e');
+  EXPECT_EQ(b.id, e.id);
+  EXPECT_EQ(b.ts_us, 100);
+  EXPECT_EQ(e.ts_us, 250);
+  EXPECT_EQ(b.host, 3);
+  EXPECT_EQ(b.pid, 7);
+  // The end inherits the begin's attribution so viewers pair them.
+  EXPECT_EQ(e.host, 3);
+  EXPECT_EQ(e.pid, 7);
+}
+
+TEST_F(RegistryTest, MaxEventsDropsInsteadOfGrowing) {
+  reg_.set_tracing(true);
+  reg_.set_max_events(3);
+  for (int i = 0; i < 10; ++i) reg_.instant("c", "n", 0);
+  EXPECT_EQ(reg_.events().size(), 3u);
+  EXPECT_EQ(reg_.dropped_events(), 7);
+}
+
+TEST_F(RegistryTest, ChromeJsonIsValidJson) {
+  reg_.set_tracing(true);
+  reg_.set_host_name(0, "host0");
+  now_us_ = 10;
+  const SpanId id = reg_.begin_span("mig", "migrate", 0, 42);
+  now_us_ = 20;
+  reg_.instant("vm", "page \"flush\"\n", 0, 42, {{"count", "3"}});
+  now_us_ = 30;
+  reg_.end_span(id);
+  const std::string json = reg_.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel integration: instrumentation through a real simulated run.
+// ---------------------------------------------------------------------------
+
+// A small workload: spawn a process on ws0 that dirties some heap and
+// computes, then actively migrate it to ws1 and wait for it.
+void run_migration_workload(SpriteCluster& cluster) {
+  ScriptBuilder b;
+  b.act(proc::Touch{vm::Segment::kHeap, 0, 64, true})
+      .compute(Time::sec(2))
+      .exit(0);
+  cluster.install_program("/bin/work", b.image(8, 64, 2));
+  const auto pid = cluster.spawn(cluster.workstation(0), "/bin/work", {});
+  cluster.run_for(Time::msec(500));
+  const auto st = cluster.migrate(pid, cluster.workstation(1));
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  cluster.wait(pid);
+}
+
+TEST(TraceIntegrationTest, CountersAccumulateDuringRun) {
+  SpriteCluster cluster({.workstations = 3, .seed = 11,
+                         .enable_load_sharing = false});
+  run_migration_workload(cluster);
+  Registry& tr = cluster.sim().trace();
+  const auto ws0 = cluster.workstation(0);
+  const auto ws1 = cluster.workstation(1);
+  EXPECT_EQ(tr.counter_value("mig.out.completed", ws0), 1);
+  EXPECT_EQ(tr.counter_value("mig.in.completed", ws1), 1);
+  EXPECT_GE(tr.counter_value("proc.process.spawned", ws0), 1);
+  EXPECT_GT(tr.counter_value("rpc.call.started", ws0), 0);
+  EXPECT_GT(tr.counter_value("vm.page.flushed", ws0), 0);
+  // The legacy Stats views are backed by the same counters.
+  EXPECT_EQ(cluster.host(ws0).mig().stats().out,
+            tr.counter_value("mig.out.completed", ws0));
+  EXPECT_EQ(cluster.host(ws0).procs().stats().spawns,
+            tr.counter_value("proc.process.spawned", ws0));
+  // No tracing requested: the metrics came for free, no events recorded.
+  EXPECT_TRUE(tr.events().empty());
+}
+
+bool has_event(const Registry& tr, const std::string& cat,
+               const std::string& name) {
+  for (const Event& e : tr.events())
+    if (e.cat == cat && e.name == name) return true;
+  return false;
+}
+
+TEST(TraceIntegrationTest, MigrationRunEmitsLifecycleSpans) {
+  SpriteCluster cluster({.workstations = 3, .seed = 11,
+                         .enable_load_sharing = false});
+  Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+  run_migration_workload(cluster);
+  ASSERT_FALSE(tr.events().empty());
+
+  EXPECT_TRUE(has_event(tr, "mig", "init handshake"));
+  EXPECT_TRUE(has_event(tr, "mig", "vm sprite-flush"));
+  EXPECT_TRUE(has_event(tr, "mig", "streams re-attribute"));
+  EXPECT_TRUE(has_event(tr, "mig", "transfer+resume"));
+  EXPECT_TRUE(has_event(tr, "mig", "frozen"));
+  EXPECT_TRUE(has_event(tr, "mig", "migrated in"));
+  EXPECT_TRUE(has_event(tr, "vm", "page flush"));
+
+  // The lifecycle spans carry host and pid attribution.
+  const auto ws0 = cluster.workstation(0);
+  bool attributed = false;
+  for (const Event& e : tr.events()) {
+    if (e.cat != "mig" || e.name != "init handshake") continue;
+    EXPECT_EQ(e.host, ws0);
+    EXPECT_GT(e.pid, 0);
+    attributed = true;
+  }
+  EXPECT_TRUE(attributed);
+
+  const std::string json = tr.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("init handshake"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, SameSeedProducesByteIdenticalTraceJson) {
+  std::string first, second;
+  for (std::string* out : {&first, &second}) {
+    SpriteCluster cluster({.workstations = 3, .seed = 11,
+                           .enable_load_sharing = false});
+    Registry& tr = cluster.sim().trace();
+    tr.set_tracing(true);
+    tr.set_host_name(cluster.workstation(0), "ws0");
+    run_migration_workload(cluster);
+    *out = tr.chrome_json();
+  }
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace sprite::trace
