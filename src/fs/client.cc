@@ -30,6 +30,7 @@ FsClient::FsClient(sim::Simulator& sim, sim::Cpu& cpu, rpc::RpcNode& rpc,
   c_writeback_bytes_ = &tr.counter("fs.client.writeback.bytes", self);
   c_recalls_ = &tr.counter("fs.client.recall.served", self);
   c_cache_disables_ = &tr.counter("fs.client.cache.disabled", self);
+  c_stale_reopens_ = &tr.counter("fs.client.stale.reopen", self);
 }
 
 const FsClient::Stats& FsClient::stats() const {
@@ -92,6 +93,11 @@ std::int64_t FsClient::new_group_id() {
 }
 
 FsClient::FileState& FsClient::state_for(FileId id) { return files_[id]; }
+
+std::int64_t FsClient::gen_for(FileId id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? 0 : it->second.gen;
+}
 
 // ---------------------------------------------------------------------------
 // Name operations
@@ -157,6 +163,8 @@ void FsClient::finish_open(const std::string& path, OpenFlags flags,
   s->flags = flags;
   s->cacheable = res.cacheable;
   s->size_hint = res.size;
+  s->path = path;
+  s->gen = res.generation;
   s->pdev_host = res.pdev_host;
   s->pdev_tag = res.pdev_tag;
 
@@ -180,6 +188,7 @@ void FsClient::finish_open(const std::string& path, OpenFlags flags,
     }
     st.cacheable = res.cacheable;
     st.size = res.size;
+    st.gen = res.generation;
     ++st.open_streams;
   }
   cb(s);
@@ -196,6 +205,7 @@ void FsClient::close(const StreamPtr& s, StatusCb cb) {
   auto body = std::make_shared<CloseReq>();
   body->id = s->file;
   body->flags = s->flags;
+  body->gen = s->gen;
   rpc_.call(s->file.server, ServiceId::kFsName,
             static_cast<int>(NameOp::kClose), body,
             [cb = std::move(cb)](util::Result<Reply> r) {
@@ -264,6 +274,7 @@ void FsClient::read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
     body->id = s->file;
     body->group = s->group;
     body->len = len;
+    body->gen = s->gen;
     rpc_.call(s->file.server, ServiceId::kFsIo,
               static_cast<int>(IoOp::kGroupRead), body,
               [cb = std::move(cb)](util::Result<Reply> r) {
@@ -282,14 +293,28 @@ void FsClient::read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
     cb(std::move(r));
   };
 
-  const auto it = files_.find(s->file);
-  const bool use_cache = s->cacheable && !s->flags.no_cache &&
-                         it != files_.end() && it->second.cacheable;
-  if (use_cache) {
-    cached_read(s, offset, len, std::move(done));
-  } else {
-    remote_read(s->file, offset, len, std::move(done));
-  }
+  auto attempt = std::make_shared<std::function<void(ReadCb)>>(
+      [this, s, offset, len](ReadCb k) {
+        const auto it = files_.find(s->file);
+        const bool use_cache = s->cacheable && !s->flags.no_cache &&
+                               it != files_.end() && it->second.cacheable;
+        if (use_cache) {
+          cached_read(s, offset, len, std::move(k));
+        } else {
+          remote_read(s->file, offset, len, std::move(k));
+        }
+      });
+  (*attempt)([this, s, attempt, done = std::move(done)](
+                 util::Result<Bytes> r) mutable {
+    if (r.is_ok() || r.status().err() != Err::kStale)
+      return done(std::move(r));
+    // The server rebooted since this stream was opened: reopen by path and
+    // retry once. A second failure propagates to the caller.
+    recover_stale(s, [attempt, done = std::move(done)](Status rs) mutable {
+      if (!rs.is_ok()) return done(rs);
+      (*attempt)(std::move(done));
+    });
+  });
 }
 
 void FsClient::cached_read(const StreamPtr& s, std::int64_t offset,
@@ -384,6 +409,7 @@ void FsClient::fetch_blocks(FileId id, std::int64_t first, std::int64_t last,
   body->id = id;
   body->offset = first * costs_.block_size;
   body->len = (chunk_last - first + 1) * costs_.block_size;
+  body->gen = gen_for(id);
   c_remote_reads_->inc();
   rpc_.call(
       id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead), body,
@@ -430,6 +456,7 @@ void FsClient::write(const StreamPtr& s, Bytes data, WriteCb cb) {
     body->id = s->file;
     body->group = s->group;
     body->data = std::move(data);
+    body->gen = s->gen;
     rpc_.call(s->file.server, ServiceId::kFsIo,
               static_cast<int>(IoOp::kGroupWrite), body,
               [cb = std::move(cb)](util::Result<Reply> r) {
@@ -443,24 +470,35 @@ void FsClient::write(const StreamPtr& s, Bytes data, WriteCb cb) {
   }
 
   const std::int64_t offset = s->offset;
-  const auto n = static_cast<std::int64_t>(data.size());
-  auto done = [s, n, cb = std::move(cb)](util::Result<std::int64_t> r) {
+  auto done = [s, cb = std::move(cb)](util::Result<std::int64_t> r) {
     if (r.is_ok()) {
       s->offset += *r;
       s->size_hint = std::max(s->size_hint, s->offset);
     }
-    (void)n;
     cb(std::move(r));
   };
 
-  const auto it = files_.find(s->file);
-  const bool use_cache = s->cacheable && !s->flags.no_cache &&
-                         it != files_.end() && it->second.cacheable;
-  if (use_cache) {
-    cached_write(s, offset, std::move(data), std::move(done));
-  } else {
-    remote_write(s->file, offset, std::move(data), std::move(done));
-  }
+  auto payload = std::make_shared<Bytes>(std::move(data));
+  auto attempt = std::make_shared<std::function<void(WriteCb)>>(
+      [this, s, offset, payload](WriteCb k) {
+        const auto it = files_.find(s->file);
+        const bool use_cache = s->cacheable && !s->flags.no_cache &&
+                               it != files_.end() && it->second.cacheable;
+        if (use_cache) {
+          cached_write(s, offset, *payload, std::move(k));
+        } else {
+          remote_write(s->file, offset, *payload, std::move(k));
+        }
+      });
+  (*attempt)([this, s, attempt, done = std::move(done)](
+                 util::Result<std::int64_t> r) mutable {
+    if (r.is_ok() || r.status().err() != Err::kStale)
+      return done(std::move(r));
+    recover_stale(s, [attempt, done = std::move(done)](Status rs) mutable {
+      if (!rs.is_ok()) return done(rs);
+      (*attempt)(std::move(done));
+    });
+  });
 }
 
 void FsClient::cached_write(const StreamPtr& s, std::int64_t offset,
@@ -552,6 +590,7 @@ void FsClient::remote_read(FileId id, std::int64_t offset, std::int64_t len,
     body->id = id;
     body->offset = st->pos;
     body->len = n;
+    body->gen = gen_for(id);
     c_remote_reads_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kRead),
               body, [st, step, n, cb](util::Result<Reply> r) mutable {
@@ -600,6 +639,7 @@ void FsClient::remote_write(FileId id, std::int64_t offset, Bytes data,
     body->data.assign(
         st->data.begin() + static_cast<std::ptrdiff_t>(st->written),
         st->data.begin() + static_cast<std::ptrdiff_t>(st->written + n));
+    body->gen = gen_for(id);
     c_remote_writes_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
               body, [st, step, n, cb](util::Result<Reply> r) mutable {
@@ -683,6 +723,7 @@ void FsClient::flush_file(FileId id, StatusCb cb) {
     body->id = id;
     body->offset = (*runs)[i].first_blk * costs_.block_size;
     body->data = (*runs)[i].data;
+    body->gen = gen_for(id);
     c_remote_writes_->inc();
     rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
               body, [step, i, cb](util::Result<Reply> r) mutable {
@@ -706,6 +747,7 @@ void FsClient::ftruncate(const StreamPtr& s, std::int64_t size, StatusCb cb) {
   auto body = std::make_shared<TruncateReq>();
   body->id = s->file;
   body->size = size;
+  body->gen = s->gen;
   rpc_.call(s->file.server, ServiceId::kFsIo,
             static_cast<int>(IoOp::kTruncate), body,
             [this, s, size, cb = std::move(cb)](util::Result<Reply> r) {
@@ -826,6 +868,7 @@ void FsClient::create_pipe(PipeCb cb) {
                 s->flags = read_end ? OpenFlags::read_only()
                                     : OpenFlags::write_only();
                 s->cacheable = false;
+                s->gen = rep->generation;
                 return s;
               };
               cb(std::make_pair(make_end(true), make_end(false)));
@@ -836,6 +879,7 @@ void FsClient::pipe_read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
   auto body = std::make_shared<PipeIoReq>();
   body->id = s->file;
   body->len = len;
+  body->gen = s->gen;
   rpc_.call(
       s->file.server, ServiceId::kFsIo, static_cast<int>(IoOp::kPipeRead),
       body, [this, s, len, cb = std::move(cb)](util::Result<Reply> r) mutable {
@@ -859,6 +903,7 @@ void FsClient::pipe_write(const StreamPtr& s, Bytes data, WriteCb cb) {
   auto body = std::make_shared<PipeIoReq>();
   body->id = s->file;
   body->data = std::move(data);
+  body->gen = s->gen;
   rpc_.call(
       s->file.server, ServiceId::kFsIo, static_cast<int>(IoOp::kPipeWrite),
       body, [this, s, body, cb = std::move(cb)](util::Result<Reply> r) mutable {
@@ -915,6 +960,8 @@ void FsClient::export_stream(const StreamPtr& s, HostId dst,
       e.pdev_host = s->pdev_host;
       e.pdev_tag = s->pdev_tag;
       e.cacheable = false;
+      e.path = s->path;
+      e.gen = s->gen;
       sim_.after(Time::zero(), [cb = std::move(cb), e] { cb(e); });
       return;
     }
@@ -924,6 +971,7 @@ void FsClient::export_stream(const StreamPtr& s, HostId dst,
     body->from = rpc_.host();
     body->to = dst;
     body->retain_source = shared_on_source;
+    body->gen = s->gen;
     rpc_.call(s->file.server, ServiceId::kFsIo,
               static_cast<int>(IoOp::kMigrateStream), body,
               [this, s, cb = std::move(cb)](util::Result<Reply> r) {
@@ -942,6 +990,8 @@ void FsClient::export_stream(const StreamPtr& s, HostId dst,
                 e.cacheable = rep->cacheable;
                 e.version = rep->version;
                 e.size = rep->size;
+                e.path = s->path;
+                e.gen = rep->generation;
 
                 // The stream leaves this host.
                 auto it = files_.find(s->file);
@@ -968,6 +1018,7 @@ void FsClient::export_stream(const StreamPtr& s, HostId dst,
       body->id = s->file;
       body->group = s->group;
       body->offset = s->offset;
+      body->gen = s->gen;
       rpc_.call(s->file.server, ServiceId::kFsIo,
                 static_cast<int>(IoOp::kShareOffset), body,
                 [s, finish = std::move(finish)](util::Result<Reply> r) {
@@ -990,6 +1041,8 @@ StreamPtr FsClient::import_stream(const ExportedStream& e) {
   s->server_offset = e.server_offset;
   s->cacheable = e.cacheable;
   s->size_hint = e.size;
+  s->path = e.path;
+  s->gen = e.gen;
   s->pdev_host = e.pdev_host;
   s->pdev_tag = e.pdev_tag;
   if (e.type == FileType::kRegular) {
@@ -1000,9 +1053,78 @@ StreamPtr FsClient::import_stream(const ExportedStream& e) {
     }
     st.cacheable = e.cacheable;
     st.size = std::max(st.size, e.size);
+    st.gen = e.gen;
     ++st.open_streams;
   }
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Crash support / reopen-recovery
+// ---------------------------------------------------------------------------
+
+void FsClient::recover_stale(const StreamPtr& s, StatusCb cb) {
+  if (s->type != FileType::kRegular || s->path.empty() || s->server_offset) {
+    // Pipes and pdevs are volatile kernel objects — the crash destroyed
+    // them. A shadow (server-managed) offset was likewise memory-only; its
+    // position is unrecoverable, so pretending to reopen would silently
+    // reposition the stream.
+    sim_.after(Time::zero(), [cb = std::move(cb)] {
+      cb(Status(Err::kStale, "stream is unrecoverable after server crash"));
+    });
+    return;
+  }
+  c_stale_reopens_->inc();
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("fs", "stale reopen", rpc_.host(), -1, {{"path", s->path}});
+  // Dirty blocks cached here survive and stay dirty: they are flushed under
+  // the new generation once the reopen installs it.
+  auto it = files_.find(s->file);
+  if (it != files_.end() && it->second.open_streams > 0)
+    --it->second.open_streams;  // the reopen below re-registers this stream
+  OpenFlags flags = s->flags;
+  flags.truncate = false;  // never destroy data during recovery
+  flags.create = false;
+  open(s->path, flags, [s, cb = std::move(cb)](util::Result<StreamPtr> r) {
+    if (!r.is_ok()) return cb(r.status());
+    const StreamPtr& fresh = *r;
+    s->file = fresh->file;
+    s->gen = fresh->gen;
+    s->cacheable = fresh->cacheable;
+    s->size_hint = std::max(s->size_hint, fresh->size_hint);
+    cb(Status::ok());
+  });
+}
+
+void FsClient::crash_reset() {
+  files_.clear();
+  lru_.clear();
+  lru_index_.clear();
+  name_cache_.clear();
+  pipe_parked_.clear();
+  // prefixes_ survive: they are boot-time configuration, re-read at reboot.
+}
+
+void FsClient::peer_crashed(HostId peer) {
+  // Parked pipe retries against the dead server would hang forever (the
+  // kPipeReady wakeup will never come). Re-issue them now: each retry runs
+  // into the down host or its post-reboot generation and fails with
+  // kTimedOut / kStale, unblocking the parked process with an error.
+  for (auto it = pipe_parked_.begin(); it != pipe_parked_.end();) {
+    if (it->first.server != peer) {
+      ++it;
+      continue;
+    }
+    auto retries = std::move(it->second);
+    it = pipe_parked_.erase(it);
+    for (auto& retry : retries) retry();
+  }
+}
+
+std::size_t FsClient::parked_pipe_retries() const {
+  std::size_t n = 0;
+  for (const auto& [id, v] : pipe_parked_) n += v.size();
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -1036,6 +1158,7 @@ void FsClient::enforce_capacity() {
       body->id = id;
       body->offset = blk * costs_.block_size;
       body->data = std::move(bit->second.data);
+      body->gen = gen_for(id);
       c_remote_writes_->inc();
       rpc_.call(id.server, ServiceId::kFsIo, static_cast<int>(IoOp::kWrite),
                 body, [](util::Result<Reply>) {});

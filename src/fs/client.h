@@ -38,6 +38,11 @@ struct Stream {
   bool server_offset = false;  // offset lives at the I/O server
   bool cacheable = true;
   std::int64_t size_hint = 0;  // size at open; updated by local writes
+  // Pathname the stream was opened by, kept for reopen-recovery after a
+  // server crash invalidates the handle (Err::kStale).
+  std::string path;
+  // Server boot generation at open; carried on every I/O request.
+  std::int64_t gen = 0;
   // Pseudo-device plumbing.
   sim::HostId pdev_host = sim::kInvalidHost;
   int pdev_tag = 0;
@@ -60,6 +65,8 @@ struct ExportedStream {
   bool cacheable = true;
   std::int64_t version = 0;
   std::int64_t size = 0;
+  std::string path;       // for reopen-recovery on the destination
+  std::int64_t gen = 0;   // server boot generation
   sim::HostId pdev_host = sim::kInvalidHost;
   int pdev_tag = 0;
 };
@@ -139,6 +146,16 @@ class FsClient {
   std::int64_t dirty_bytes(FileId id) const;
   std::int64_t total_dirty_bytes() const;
 
+  // ---- Crash support ----
+  // This host crashed: every stream, cached block, and parked retry dies.
+  // The prefix table survives (boot-time configuration).
+  void crash_reset();
+  // A peer crashed. Parked pipe retries against its (now vanished) pipes
+  // are re-issued so the callers get an error instead of hanging forever.
+  void peer_crashed(sim::HostId peer);
+  // Number of parked pipe retry closures (starvation diagnosis).
+  std::size_t parked_pipe_retries() const;
+
   // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
     std::int64_t cache_hit_blocks = 0;
@@ -167,6 +184,7 @@ class FsClient {
     int open_streams = 0;
     std::map<std::int64_t, CacheBlock> blocks;
     bool writeback_scheduled = false;
+    std::int64_t gen = 0;  // server boot generation, stamped on I/O
   };
 
   // Builds the Stream and client state from a successful open reply.
@@ -193,6 +211,12 @@ class FsClient {
   void handle_callback(const rpc::Request& req,
                        std::function<void(rpc::Reply)> respond);
   FileState& state_for(FileId id);
+  std::int64_t gen_for(FileId id) const;
+  // Reopen-recovery: a regular stream hit Err::kStale (the server rebooted
+  // since the open). Reopens by path, adopts the fresh handle + generation
+  // into `s`, and reports success so the caller can retry once. Pipes,
+  // pdevs, and shadow-offset streams are unrecoverable.
+  void recover_stale(const StreamPtr& s, StatusCb cb);
   std::int64_t new_group_id();
   void touch_lru(FileId id, std::int64_t blk);
   void enforce_capacity();
@@ -225,6 +249,7 @@ class FsClient {
   trace::Counter* c_writeback_bytes_;
   trace::Counter* c_recalls_;
   trace::Counter* c_cache_disables_;
+  trace::Counter* c_stale_reopens_;
   mutable Stats stats_view_;
 };
 

@@ -58,6 +58,10 @@ class PdevRegistry {
   int register_server(Handler handler);
   void unregister_server(int tag);
 
+  // Crash support: the user-level servers died with the host. Requests for
+  // their tags fail until they re-register after reboot.
+  void crash_reset() { servers_.clear(); }
+
  private:
   void handle(const rpc::Request& req,
               std::function<void(rpc::Reply)> respond);

@@ -189,7 +189,20 @@ util::Result<FileId> FsServer::create_file(const std::string& path,
 util::Result<FileId> FsServer::create_pdev(const std::string& path,
                                            sim::HostId owner_host, int tag) {
   auto r = create_at(path, FileType::kPseudoDevice);
-  if (!r.is_ok()) return r.status();
+  if (!r.is_ok()) {
+    if (r.err() != Err::kExist) return r.status();
+    // Re-registration after the owner rebooted: the path survives, the
+    // user-level server behind it is new. Update the routing in place so
+    // fresh opens reach the reincarnated server.
+    auto existing = lookup(path);
+    if (!existing.is_ok()) return existing.status();
+    Inode& node = inode(*existing);
+    if (node.type != FileType::kPseudoDevice)
+      return util::Result<FileId>(Err::kExist, path);
+    node.pdev_host = owner_host;
+    node.pdev_tag = tag;
+    return FileId{host(), *existing};
+  }
   Inode& node = inode(*r);
   node.pdev_host = owner_host;
   node.pdev_tag = tag;
@@ -462,6 +475,7 @@ void FsServer::handle_name(HostId src, const Request& req, Respond respond) {
              [this, src, respond = std::move(respond)]() mutable {
                auto rep = std::make_shared<CreatePipeRep>();
                rep->id = create_pipe_inode(src);
+               rep->generation = boot_generation_;
                respond(Reply{Status::ok(), rep});
              });
       return;
@@ -509,6 +523,7 @@ void FsServer::do_open(HostId src, const OpenReq& req, bool hint_ok,
     rep->result.pdev_host = node.pdev_host;
     rep->result.pdev_tag = node.pdev_tag;
     rep->result.cacheable = false;
+    rep->result.generation = boot_generation_;
     return respond(Reply{Status::ok(), rep});
   }
 
@@ -573,11 +588,14 @@ void FsServer::finish_open(HostId src, const OpenReq& req, Ino ino,
   rep->result.size = node.size;
   rep->result.version = node.version;
   rep->result.cacheable = !node.write_shared && !req.flags.no_cache;
+  rep->result.generation = boot_generation_;
   respond(Reply{Status::ok(), rep});
 }
 
 void FsServer::do_close(HostId src, const CloseReq& req, Respond respond) {
   c_closes_->inc();
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "close: pre-crash stream"));
   Inode* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "close"));
   auto it = node->users.find(src);
@@ -647,6 +665,9 @@ void FsServer::handle_io(HostId src, const Request& req, Respond respond) {
       SPRITE_CHECK(body != nullptr);
       charge(costs_.fs_open_cpu, 0,
              [this, body, respond = std::move(respond)]() mutable {
+               if (body->gen != boot_generation_)
+                 return respond(error_reply(Err::kStale,
+                                            "share offset: pre-crash stream"));
                auto* node = inodes_.count(body->id.ino) ? &inode(body->id.ino)
                                                         : nullptr;
                if (node == nullptr)
@@ -690,6 +711,9 @@ void FsServer::handle_io(HostId src, const Request& req, Respond respond) {
       SPRITE_CHECK(body != nullptr);
       charge(costs_.fs_block_cpu, 0,
              [this, body, respond = std::move(respond)]() mutable {
+               if (body->gen != boot_generation_)
+                 return respond(error_reply(Err::kStale,
+                                            "truncate: pre-crash stream"));
                auto* node = inodes_.count(body->id.ino) ? &inode(body->id.ino)
                                                         : nullptr;
                if (node == nullptr)
@@ -713,6 +737,8 @@ void FsServer::handle_io(HostId src, const Request& req, Respond respond) {
 }
 
 void FsServer::do_read(HostId, const ReadReq& req, Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "read: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "read"));
   c_reads_->inc();
@@ -723,6 +749,8 @@ void FsServer::do_read(HostId, const ReadReq& req, Respond respond) {
 }
 
 void FsServer::do_write(HostId, const WriteReq& req, Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "write: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "write"));
   c_writes_->inc();
@@ -735,6 +763,8 @@ void FsServer::do_write(HostId, const WriteReq& req, Respond respond) {
 
 void FsServer::do_group_io(HostId, IoOp op, const GroupIoReq& req,
                            Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "group io: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr) return respond(error_reply(Err::kStale, "group io"));
   auto it = node->group_offsets.find(req.group);
@@ -775,6 +805,8 @@ void FsServer::notify_pipe_waiters(Inode& node) {
 
 void FsServer::do_pipe_read(HostId src, const PipeIoReq& req,
                             Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "pipe read: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr || node->type != FileType::kPipe)
     return respond(error_reply(Err::kStale, "pipe read"));
@@ -806,6 +838,8 @@ void FsServer::do_pipe_read(HostId src, const PipeIoReq& req,
 
 void FsServer::do_pipe_write(HostId src, const PipeIoReq& req,
                              Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(error_reply(Err::kStale, "pipe write: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr || node->type != FileType::kPipe)
     return respond(error_reply(Err::kStale, "pipe write"));
@@ -831,6 +865,9 @@ void FsServer::do_pipe_write(HostId src, const PipeIoReq& req,
 
 void FsServer::do_migrate_stream(const MigrateStreamReq& req,
                                  Respond respond) {
+  if (req.gen != boot_generation_)
+    return respond(
+        error_reply(Err::kStale, "migrate stream: pre-crash stream"));
   auto* node = inodes_.count(req.id.ino) ? &inode(req.id.ino) : nullptr;
   if (node == nullptr)
     return respond(error_reply(Err::kStale, "migrate stream"));
@@ -905,7 +942,56 @@ void FsServer::do_migrate_stream(const MigrateStreamReq& req,
   rep->cacheable = !node->write_shared;
   rep->version = node->version;
   rep->size = node->size;
+  rep->generation = boot_generation_;
   respond(Reply{Status::ok(), rep});
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery
+// ---------------------------------------------------------------------------
+
+void FsServer::crash_reset() {
+  ++boot_generation_;
+  for (auto it = inodes_.begin(); it != inodes_.end();) {
+    Inode& node = it->second;
+    // Pipes are kernel buffers, not disk objects: gone with the crash.
+    // Unlinked-but-open files were kept alive only by open streams, and
+    // every open attribution just evaporated — reap them too.
+    if (node.type == FileType::kPipe ||
+        (node.unlinked && node.ino != root_)) {
+      it = inodes_.erase(it);
+      continue;
+    }
+    // Memory-only consistency state is lost; disk contents survive.
+    node.users.clear();
+    node.write_shared = false;
+    node.last_writer = sim::kInvalidHost;
+    node.group_offsets.clear();
+    node.pipe_waiters.clear();
+    ++it;
+  }
+  lru_.clear();
+  cached_.clear();
+}
+
+void FsServer::peer_crashed(HostId h) {
+  std::vector<Ino> touched;
+  for (auto& [ino, node] : inodes_) {
+    const bool used = node.users.erase(h) > 0;
+    // Any dirty blocks h cached are lost; nothing left to recall.
+    if (node.last_writer == h) node.last_writer = sim::kInvalidHost;
+    node.pipe_waiters.erase(
+        std::remove(node.pipe_waiters.begin(), node.pipe_waiters.end(), h),
+        node.pipe_waiters.end());
+    if (!used) continue;
+    touched.push_back(ino);
+    std::vector<HostId> to_disable;
+    update_sharing(node, &to_disable);  // sharing may end; no new callbacks
+    // Pipe readers/writers died with h: parked peers must re-evaluate
+    // (EOF when the writers are gone, EPIPE when the readers are).
+    if (node.type == FileType::kPipe) notify_pipe_waiters(node);
+  }
+  for (Ino ino : touched) maybe_reap(ino);
 }
 
 }  // namespace sprite::fs

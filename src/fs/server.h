@@ -62,6 +62,20 @@ class FsServer {
   bool is_cacheable(FileId id) const;
   std::int64_t group_offset(FileId id, std::int64_t group) const;
 
+  // ---- Crash / recovery ----
+  // Boot generation: stamped into every OpenResult and checked against the
+  // `gen` carried by I/O requests. A mismatch (stream opened before the
+  // server's last crash) yields Err::kStale, driving the client's
+  // reopen-recovery path.
+  std::int64_t generation() const { return boot_generation_; }
+  // Crash: disk state (namespace + blocks) survives; everything the server
+  // only held in memory is lost — open attributions, sharing state, shadow
+  // offsets, pipe buffers, the block cache — and the generation moves.
+  void crash_reset();
+  // A client host died: drop its open attributions and sharing influence,
+  // wake pipes it was a party to, reap what only it kept alive.
+  void peer_crashed(sim::HostId h);
+
   // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
     std::int64_t opens = 0;
@@ -167,6 +181,7 @@ class FsServer {
   std::map<Ino, Inode> inodes_;
   Ino root_ = kInvalidIno;
   Ino next_ino_ = 1;
+  std::int64_t boot_generation_ = 0;  // bumped by crash_reset()
 
   // Server block cache (timing only): LRU over (ino, block).
   std::list<std::pair<Ino, std::int64_t>> lru_;

@@ -69,6 +69,11 @@ struct OpenResult {
   // For pseudo-devices: host running the user-level server, and its tag.
   sim::HostId pdev_host = sim::kInvalidHost;
   int pdev_tag = 0;
+  // Server boot generation at open time. I/O requests carry it back; after
+  // a server crash the generation moves and old streams get Err::kStale,
+  // forcing the client through reopen-recovery (handles do not survive a
+  // server reboot — Sprite's stateful-server recovery model).
+  std::int64_t generation = 0;
 };
 
 struct StatResult {

@@ -48,7 +48,8 @@ struct OpenRep : rpc::Message {
 struct CloseReq : rpc::Message {
   FileId id;
   OpenFlags flags;  // the flags the file was opened with
-  std::int64_t wire_bytes() const override { return 32; }
+  std::int64_t gen = 0;  // server boot generation from the open
+  std::int64_t wire_bytes() const override { return 40; }
 };
 
 struct PathReq : rpc::Message {  // unlink / mkdir / stat
@@ -89,7 +90,8 @@ struct ReadReq : rpc::Message {
   FileId id;
   std::int64_t offset = 0;
   std::int64_t len = 0;
-  std::int64_t wire_bytes() const override { return 40; }
+  std::int64_t gen = 0;  // server boot generation from the open
+  std::int64_t wire_bytes() const override { return 48; }
 };
 
 struct ReadRep : rpc::Message {
@@ -103,8 +105,9 @@ struct WriteReq : rpc::Message {
   FileId id;
   std::int64_t offset = 0;
   Bytes data;
+  std::int64_t gen = 0;
   std::int64_t wire_bytes() const override {
-    return 24 + static_cast<std::int64_t>(data.size());
+    return 32 + static_cast<std::int64_t>(data.size());
   }
 };
 
@@ -120,8 +123,9 @@ struct GroupIoReq : rpc::Message {
   std::int64_t group = 0;
   std::int64_t len = 0;   // for kGroupRead
   Bytes data;             // for kGroupWrite
+  std::int64_t gen = 0;
   std::int64_t wire_bytes() const override {
-    return 40 + static_cast<std::int64_t>(data.size());
+    return 48 + static_cast<std::int64_t>(data.size());
   }
 };
 
@@ -138,7 +142,8 @@ struct ShareOffsetReq : rpc::Message {
   FileId id;
   std::int64_t group = 0;
   std::int64_t offset = 0;  // current offset, transferred to the server
-  std::int64_t wire_bytes() const override { return 40; }
+  std::int64_t gen = 0;
+  std::int64_t wire_bytes() const override { return 48; }
 };
 
 struct MigrateStreamReq : rpc::Message {
@@ -150,7 +155,8 @@ struct MigrateStreamReq : rpc::Message {
   // stream (a fork-shared descriptor migrated): the destination gains a
   // reference without the source losing its own.
   bool retain_source = false;
-  std::int64_t wire_bytes() const override { return 48; }
+  std::int64_t gen = 0;
+  std::int64_t wire_bytes() const override { return 56; }
 };
 
 struct MigrateStreamRep : rpc::Message {
@@ -159,26 +165,30 @@ struct MigrateStreamRep : rpc::Message {
   bool cacheable = true;
   std::int64_t version = 0;
   std::int64_t size = 0;
-  std::int64_t wire_bytes() const override { return 24; }
+  std::int64_t generation = 0;  // destination stamps its streams with this
+  std::int64_t wire_bytes() const override { return 32; }
 };
 
 struct TruncateReq : rpc::Message {
   FileId id;
   std::int64_t size = 0;
-  std::int64_t wire_bytes() const override { return 32; }
+  std::int64_t gen = 0;
+  std::int64_t wire_bytes() const override { return 40; }
 };
 
 struct CreatePipeRep : rpc::Message {
   FileId id;
-  std::int64_t wire_bytes() const override { return 24; }
+  std::int64_t generation = 0;
+  std::int64_t wire_bytes() const override { return 32; }
 };
 
 struct PipeIoReq : rpc::Message {
   FileId id;
   std::int64_t len = 0;  // read
   Bytes data;            // write
+  std::int64_t gen = 0;
   std::int64_t wire_bytes() const override {
-    return 32 + static_cast<std::int64_t>(data.size());
+    return 40 + static_cast<std::int64_t>(data.size());
   }
 };
 

@@ -41,6 +41,27 @@ void Host::note_user_input() {
   if (input_observer_) input_observer_();
 }
 
+void Host::crash_reset() {
+  // Order: consumers before providers, so nothing re-registers state in a
+  // subsystem that is about to be wiped.
+  procs_->crash_reset();
+  mig_->crash_reset();
+  fs_client_->crash_reset();
+  if (fs_server_) fs_server_->crash_reset();
+  pdev_->crash_reset();
+  vm_->crash_reset();
+  rpc_->crash_reset();
+  cpu_->crash_reset();
+  input_observer_ = nullptr;  // re-wired by the facility on reboot
+}
+
+void Host::peer_crashed(sim::HostId peer) {
+  procs_->peer_crashed(peer);
+  mig_->peer_crashed(peer);
+  fs_client_->peer_crashed(peer);
+  if (fs_server_) fs_server_->peer_crashed(peer);
+}
+
 Cluster::Cluster(Config config)
     : config_(config), sim_(config.seed), net_(sim_, config_.costs) {
   SPRITE_CHECK(config_.num_file_servers >= 1);
@@ -111,8 +132,72 @@ const proc::ProgramImage* Cluster::find_program(
   return it == programs_.end() ? nullptr : &it->second;
 }
 
+void Cluster::crash_host(sim::HostId h) {
+  SPRITE_CHECK_MSG(!host_crashed(h), "crash_host on an already-crashed host");
+  crashed_.insert(h);
+  net_.set_host_up(h, false);
+  LOG_INFO("kern", "host%d crashed", h);
+  host(h).crash_reset();
+  sim_.trace().counter("kern.host.crashes", h).inc();
+  if (sim_.trace().tracing()) sim_.trace().instant("kern", "crash", h);
+  // Survivors learn of the crash via a zero-delay event: detection is
+  // effectively immediate (Sprite's RPC layer notices dead peers fast) but
+  // never reentrant into the code that triggered the crash.
+  for (const auto& peer : hosts_) {
+    const sim::HostId pid = peer->id();
+    if (pid == h) continue;
+    sim_.after(sim::Time::zero(), [this, pid, h] {
+      // The crash happened even if h reboots later this instant; only a
+      // peer that itself crashed meanwhile has nothing left to reap.
+      if (!host_crashed(pid)) host(pid).peer_crashed(h);
+    });
+  }
+  for (const auto& fn : crash_observers_) fn(h);
+}
+
+void Cluster::reboot_host(sim::HostId h) {
+  SPRITE_CHECK_MSG(host_crashed(h), "reboot_host on a host that is up");
+  crashed_.erase(h);
+  net_.set_host_up(h, true);
+  LOG_INFO("kern", "host%d rebooted", h);
+  sim_.trace().counter("kern.host.reboots", h).inc();
+  if (sim_.trace().tracing()) sim_.trace().instant("kern", "reboot", h);
+  for (const auto& fn : reboot_observers_) fn(h);
+}
+
 void Cluster::run_until_done(const std::function<bool()>& done) {
   const bool finished = sim_.run_while_pending(done);
+  if (!finished) {
+    // Starved: dump what every host was waiting on before aborting, so a
+    // protocol deadlock found by a fault test is debuggable.
+    LOG_ERROR("kern", "--- starvation diagnosis at t=%.3fms ---",
+              sim_.now().ms());
+    for (const auto& hp : hosts_) {
+      const sim::HostId h = hp->id();
+      if (host_crashed(h)) {
+        LOG_ERROR("kern", "host%d: crashed", h);
+        continue;
+      }
+      for (const auto& pc : hp->rpc().pending_calls())
+        LOG_ERROR("kern",
+                  "host%d: pending rpc call#%llu -> host%d %s op=%d "
+                  "(attempt %d)",
+                  h, static_cast<unsigned long long>(pc.call_id), pc.dst,
+                  rpc::service_name(pc.service), pc.op, pc.attempts);
+      for (const auto& pcb : hp->procs().local_processes())
+        if (pcb->state != proc::ProcState::kRunnable ||
+            pcb->migrate_syscall_pending)
+          LOG_ERROR("kern", "host%d: pid %lld state=%s%s", h,
+                    static_cast<long long>(pcb->pid),
+                    proc::proc_state_name(pcb->state),
+                    pcb->migrate_syscall_pending ? " (migrating)" : "");
+      if (const std::size_t n = hp->mig().active_migrations(); n > 0)
+        LOG_ERROR("kern", "host%d: %zu migration(s) in flight", h, n);
+      if (const std::size_t n = hp->fs().parked_pipe_retries(); n > 0)
+        LOG_ERROR("kern", "host%d: %zu parked pipe retr%s", h, n,
+                  n == 1 ? "y" : "ies");
+    }
+  }
   SPRITE_CHECK_MSG(finished,
                    "simulation starved before completion (protocol deadlock?)");
 }

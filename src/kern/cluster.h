@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,16 @@ class Host {
     input_observer_ = std::move(fn);
   }
 
+  // ---- Crash support (driven by Cluster::crash_host/reboot_host) ----
+  // Tears down every subsystem's volatile state in place. The objects stay
+  // alive (in-flight event lambdas capture raw subsystem pointers; the
+  // teardown makes those callbacks find-nothing no-ops), which also models
+  // a reboot reusing the same kernel text.
+  void crash_reset();
+  // Informs this (surviving) host that `peer` crashed: reap what depends
+  // on it and fail what waits for it.
+  void peer_crashed(sim::HostId peer);
+
  private:
   Cluster& cluster_;
   sim::HostId id_;
@@ -115,8 +127,29 @@ class Cluster {
   std::vector<sim::HostId> workstations() const;
 
   // Runs the simulation until `done` returns true; CHECK-fails if the event
-  // queue starves first (deadlock in a protocol under test).
+  // queue starves first (deadlock in a protocol under test), after dumping
+  // a diagnosis of what every host was waiting on.
   void run_until_done(const std::function<bool()>& done);
+
+  // ---- Crash / reboot semantics (thesis failure model) ----
+  // Crashing a host drops it off the network and destroys all kernel soft
+  // state: local processes die, the FS client cache is lost, pending RPCs
+  // are abandoned, and the host's reboot epoch is bumped. Surviving hosts
+  // learn of the crash via a zero-delay event (Sprite peers detect a dead
+  // host promptly through the RPC layer) and reap their dependent state.
+  void crash_host(sim::HostId h);
+  // Brings a crashed host back with empty tables; peers see the new epoch
+  // on its first message. Reboot observers re-establish boot-time services
+  // (e.g. the load-sharing daemon).
+  void reboot_host(sim::HostId h);
+  bool host_crashed(sim::HostId h) const { return crashed_.count(h) != 0; }
+
+  void add_crash_observer(std::function<void(sim::HostId)> fn) {
+    crash_observers_.push_back(std::move(fn));
+  }
+  void add_reboot_observer(std::function<void(sim::HostId)> fn) {
+    reboot_observers_.push_back(std::move(fn));
+  }
 
   // ---- Program registry ----
   // All hosts see the same binaries through the shared file system, so
@@ -134,6 +167,9 @@ class Cluster {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<sim::HostId> file_servers_;
   std::map<std::string, proc::ProgramImage> programs_;
+  std::set<sim::HostId> crashed_;
+  std::vector<std::function<void(sim::HostId)>> crash_observers_;
+  std::vector<std::function<void(sim::HostId)>> reboot_observers_;
 };
 
 }  // namespace sprite::kern

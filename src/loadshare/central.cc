@@ -48,6 +48,15 @@ void MigdDaemon::restart() {
   revocations_.clear();
 }
 
+void MigdDaemon::host_crashed(sim::HostId h) {
+  table_.erase(h);
+  for (auto& [w, info] : table_)
+    if (info.assigned_to == h) info.assigned_to = sim::kInvalidHost;
+  grants_by_requester_.erase(h);
+  last_request_.erase(h);
+  revocations_.erase(h);
+}
+
 bool MigdDaemon::fresh(const HostInfo& info, Time now) const {
   return now - info.last_announce <=
          host_.cluster().costs().ls_update_period * 3.0;
@@ -205,6 +214,13 @@ void MigdAnnouncer::ensure_open(std::function<void()> then) {
                   });
 }
 
+void MigdAnnouncer::reset() {
+  stream_ = nullptr;
+  // An open in flight when the host crashed lost its callback with the
+  // kernel; clear the guard so the next announcement can open again.
+  opening_ = false;
+}
+
 void MigdAnnouncer::start() {
   host_.cluster().sim().every(host_.cluster().costs().ls_update_period,
                               [this] { announce_now(); });
@@ -216,7 +232,12 @@ void MigdAnnouncer::announce_now() {
     std::snprintf(buf, sizeof buf, "ANN %d %d %.3f", host_.id(),
                   node_.is_idle() && !node_.reserved() ? 1 : 0, node_.load());
     host_.fs().pdev_call(stream_, to_bytes(buf),
-                         [](util::Result<Bytes>) {});
+                         [this](util::Result<Bytes> r) {
+                           // A failed call usually means migd's host rebooted
+                           // and the pdev was reinstalled under a new tag;
+                           // reopen on the next announcement.
+                           if (!r.is_ok()) stream_ = nullptr;
+                         });
   });
 }
 
@@ -255,6 +276,7 @@ void CentralSelector::request_hosts(int n, GrantCb cb) {
         stream_, to_bytes(req),
         [this, start, cb = std::move(cb)](util::Result<Bytes> r) {
           std::vector<HostId> hosts;
+          if (!r.is_ok()) stream_ = nullptr;  // reopen next time (migd moved)
           if (r.is_ok()) {
             std::istringstream in(to_string(*r));
             std::string tok;
@@ -289,7 +311,10 @@ void CentralSelector::release_host(HostId h) {
     if (!s.is_ok()) return;
     const std::string req =
         "REL " + std::to_string(host_.id()) + " " + std::to_string(h);
-    host_.fs().pdev_call(stream_, to_bytes(req), [](util::Result<Bytes>) {});
+    host_.fs().pdev_call(stream_, to_bytes(req),
+                         [this](util::Result<Bytes> r) {
+                           if (!r.is_ok()) stream_ = nullptr;
+                         });
   });
 }
 

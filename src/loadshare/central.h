@@ -53,6 +53,11 @@ class MigdDaemon {
   // double-granted even though the assignment table was lost.
   void restart();
 
+  // Another host crashed (Sprite's recovery module told migd): drop its
+  // availability entry and free every host it held as a requester, so
+  // grants to a dead requester do not pin idle hosts forever.
+  void host_crashed(sim::HostId h);
+
   struct Stats {
     std::int64_t announcements = 0;
     std::int64_t requests = 0;
@@ -87,6 +92,11 @@ class MigdAnnouncer {
   void start();
   void announce_now();
 
+  // Drops the cached pdev stream (and a possibly-orphaned in-flight open)
+  // after this host or migd's host crashed; the next announcement reopens,
+  // picking up migd's reinstalled pseudo-device.
+  void reset();
+
  private:
   void ensure_open(std::function<void()> then);
 
@@ -112,6 +122,11 @@ class CentralSelector : public HostSelector {
     auto out = std::move(revoked_);
     revoked_.clear();
     return out;
+  }
+
+  void reset() override {
+    stream_ = nullptr;
+    revoked_.clear();
   }
 
  private:

@@ -38,15 +38,16 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
     case Arch::kCentral: {
       // The daemon runs on file server 0 (a host that is always up).
       daemon_ = std::make_unique<MigdDaemon>(cluster_.file_server());
+      daemon_host_ = cluster_.file_server().id();
       SPRITE_CHECK(daemon_->install(kMigdPath).is_ok());
       for (HostId w : workstations) {
         auto ann = std::make_unique<MigdAnnouncer>(cluster_.host(w),
                                                    *nodes_.at(w), kMigdPath);
         ann->start();
         MigdAnnouncer* ann_raw = ann.get();
-        nodes_.at(w)->enable_autoeviction(
-            [ann_raw] { ann_raw->announce_now(); });
-        announcers_.push_back(std::move(ann));
+        eviction_hooks_[w] = [ann_raw] { ann_raw->announce_now(); };
+        nodes_.at(w)->enable_autoeviction(eviction_hooks_[w]);
+        announcers_.emplace(w, std::move(ann));
         selectors_.emplace(
             w, std::make_unique<CentralSelector>(cluster_.host(w), kMigdPath,
                                                  ground_truth));
@@ -60,8 +61,9 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
             cluster_.host(w), *nodes_.at(w), kLoadFilePath);
         upd->start();
         LoadFileUpdater* upd_raw = upd.get();
-        nodes_.at(w)->enable_autoeviction([upd_raw] { upd_raw->update_now(); });
-        updaters_.push_back(std::move(upd));
+        eviction_hooks_[w] = [upd_raw] { upd_raw->update_now(); };
+        nodes_.at(w)->enable_autoeviction(eviction_hooks_[w]);
+        updaters_.emplace(w, std::move(upd));
         selectors_.emplace(
             w, std::make_unique<SharedFileSelector>(
                    cluster_.host(w), kLoadFilePath, kClaimFilePath,
@@ -72,6 +74,7 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
     case Arch::kProbabilistic: {
       for (HostId w : workstations) {
         nodes_.at(w)->start_gossip(workstations);
+        eviction_hooks_[w] = nullptr;
         nodes_.at(w)->enable_autoeviction();
         selectors_.emplace(w, std::make_unique<ProbabilisticSelector>(
                                   cluster_.host(w), *nodes_.at(w),
@@ -82,6 +85,7 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
     case Arch::kMulticast: {
       for (HostId w : workstations) {
         nodes_.at(w)->enable_multicast_responder();
+        eviction_hooks_[w] = nullptr;
         nodes_.at(w)->enable_autoeviction();
         selectors_.emplace(
             w, std::make_unique<MulticastSelector>(cluster_.host(w),
@@ -91,6 +95,43 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
       break;
     }
   }
+
+  cluster_.add_crash_observer([this](HostId h) { on_crash(h); });
+  cluster_.add_reboot_observer([this](HostId h) { on_reboot(h); });
+}
+
+void Facility::on_crash(HostId h) {
+  for (auto& [w, node] : nodes_) {
+    if (w == h)
+      node->crash_reset();
+    else
+      node->peer_crashed(h);
+  }
+  if (auto it = selectors_.find(h); it != selectors_.end())
+    it->second->reset();
+  if (auto it = announcers_.find(h); it != announcers_.end())
+    it->second->reset();
+  if (auto it = updaters_.find(h); it != updaters_.end()) it->second->reset();
+  if (daemon_ && h == daemon_host_) {
+    // The daemon process died with its host. Its table is rebuilt from
+    // announcements after the reinstall in on_reboot(); meanwhile
+    // requesters' pdev calls fail and they retry (Sprite §6.3.2).
+    daemon_->restart();
+  } else if (daemon_) {
+    daemon_->host_crashed(h);
+  }
+}
+
+void Facility::on_reboot(HostId h) {
+  if (daemon_ && h == daemon_host_) {
+    // Reinstall the pseudo-device: the rebooted kernel lost the server
+    // registration, and create_pdev upserts the new tag into the (possibly
+    // surviving) file-server node.
+    SPRITE_CHECK(daemon_->install(kMigdPath).is_ok());
+  }
+  // Host::crash_reset cleared the input observer; re-arm owner protection.
+  if (auto it = nodes_.find(h); it != nodes_.end())
+    it->second->enable_autoeviction(eviction_hooks_[h]);
 }
 
 LoadShareNode& Facility::node(HostId h) { return *nodes_.at(h); }

@@ -50,13 +50,25 @@ class Facility {
   HostSelector::Stats aggregate_stats() const;
 
  private:
+  // Crash/reboot recovery, registered with the cluster at construction. A
+  // workstation crash wipes its node/selector soft state and tells every
+  // surviving node; a reboot re-wires the input observer (Host::crash_reset
+  // cleared it) and, if migd's host came back, restarts and reinstalls the
+  // daemon (thesis §6.3.2).
+  void on_crash(sim::HostId h);
+  void on_reboot(sim::HostId h);
+
   kern::Cluster& cluster_;
   Arch arch_;
   std::map<sim::HostId, std::unique_ptr<LoadShareNode>> nodes_;
   std::map<sim::HostId, std::unique_ptr<HostSelector>> selectors_;
   std::unique_ptr<MigdDaemon> daemon_;
-  std::vector<std::unique_ptr<MigdAnnouncer>> announcers_;
-  std::vector<std::unique_ptr<LoadFileUpdater>> updaters_;
+  sim::HostId daemon_host_ = sim::kInvalidHost;
+  std::map<sim::HostId, std::unique_ptr<MigdAnnouncer>> announcers_;
+  std::map<sim::HostId, std::unique_ptr<LoadFileUpdater>> updaters_;
+  // The user-return hooks passed to enable_autoeviction, kept so the
+  // observer can be re-installed after a reboot.
+  std::map<sim::HostId, std::function<void()>> eviction_hooks_;
 };
 
 }  // namespace sprite::ls

@@ -21,6 +21,7 @@ LoadShareNode::LoadShareNode(kern::Host& host)
   c_reserves_granted_ = &tr.counter("ls.reserve.granted", host_.id());
   c_reserves_refused_ = &tr.counter("ls.reserve.refused", host_.id());
   c_evictions_ = &tr.counter("ls.eviction.triggered", host_.id());
+  c_crash_releases_ = &tr.counter("ls.eviction.crash", host_.id());
   c_gossip_sent_ = &tr.counter("ls.gossip.sent", host_.id());
   c_offers_sent_ = &tr.counter("ls.offer.sent", host_.id());
 }
@@ -76,6 +77,22 @@ void LoadShareNode::release(HostId requester) {
   reserved_by_ = sim::kInvalidHost;
   host_.cpu().set_load_bias(
       std::max(0.0, host_.cpu().load_bias() - 1.0));
+}
+
+void LoadShareNode::crash_reset() {
+  reserved_by_ = sim::kInvalidHost;
+  vector_.clear();
+  evicting_ = false;
+}
+
+void LoadShareNode::peer_crashed(HostId peer) {
+  vector_.erase(peer);
+  if (reserved_by_ != peer) return;
+  release(peer);
+  c_crash_releases_->inc();
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+    tr.instant("ls", "reservation released: reserver crashed", host_.id(), -1,
+               {{"reserver", std::to_string(peer)}});
 }
 
 void LoadShareNode::enable_autoeviction(std::function<void()> on_user_return) {

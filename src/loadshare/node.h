@@ -64,6 +64,15 @@ class LoadShareNode {
     offer_sink_ = std::move(sink);
   }
 
+  // ---- Crash support ----
+  // This host crashed: the reservation and the cached load vector die with
+  // it. No load-bias adjustment — the CPU was reset wholesale.
+  void crash_reset();
+  // A peer crashed: drop its gossip entry, and if it held our reservation,
+  // clear it so this host becomes available again instead of staying
+  // reserved by a ghost forever.
+  void peer_crashed(sim::HostId peer);
+
   // Registry-backed (trace/trace.h); the struct is a refreshed view.
   struct Stats {
     std::int64_t reserves_granted = 0;
@@ -94,6 +103,9 @@ class LoadShareNode {
   trace::Counter* c_reserves_granted_;
   trace::Counter* c_reserves_refused_;
   trace::Counter* c_evictions_;
+  // Reservations cleared because the reserver crashed — distinct from
+  // owner-return evictions (ls.eviction.triggered).
+  trace::Counter* c_crash_releases_;
   trace::Counter* c_gossip_sent_;
   trace::Counter* c_offers_sent_;
   mutable Stats stats_view_;

@@ -37,6 +37,11 @@ class HostSelector {
   // recalls).
   virtual std::vector<sim::HostId> take_revoked() { return {}; }
 
+  // Drops cached soft state (open streams to the facility's files or
+  // pseudo-device) after the selector's host crashed and rebooted; the next
+  // request reopens from scratch. Default: nothing cached.
+  virtual void reset() {}
+
   // Registry-backed (trace/trace.h); the struct is a refreshed view. The
   // grant-latency distribution is kept locally (quantiles) and mirrored into
   // a registry histogram when bound.

@@ -34,6 +34,13 @@ class LoadFileUpdater {
   void start();
   void update_now();
 
+  // Drops the cached stream (and any orphaned in-flight open) after a crash
+  // so the next update reopens against the rebooted file server.
+  void reset() {
+    stream_ = nullptr;
+    opening_ = false;
+  }
+
  private:
   void ensure_open(std::function<void()> then);
 
@@ -52,6 +59,11 @@ class SharedFileSelector : public HostSelector {
 
   void request_hosts(int n, GrantCb cb) override;
   void release_host(sim::HostId h) override;
+
+  void reset() override {
+    load_stream_ = nullptr;
+    claim_stream_ = nullptr;
+  }
 
  private:
   struct Candidate {

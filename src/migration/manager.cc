@@ -30,6 +30,17 @@ const char* strategy_name(VmStrategy s) {
   return "?";
 }
 
+const char* mig_stage_name(MigStage s) {
+  switch (s) {
+    case MigStage::kInit: return "init";
+    case MigStage::kFreeze: return "freeze";
+    case MigStage::kVmTransfer: return "vm-transfer";
+    case MigStage::kStreams: return "streams";
+    case MigStage::kResume: return "resume";
+  }
+  return "?";
+}
+
 MigrationManager::MigrationManager(kern::Host& host)
     : host_(host), self_(host.id()) {
   trace::Registry& tr = host_.cluster().sim().trace();
@@ -38,6 +49,7 @@ MigrationManager::MigrationManager(kern::Host& host)
   c_failed_ = &tr.counter("mig.out.failed", self_);
   c_evictions_ = &tr.counter("mig.eviction.completed", self_);
   c_cor_pages_ = &tr.counter("mig.cor_page.served", self_);
+  c_cor_kills_ = &tr.counter("mig.cor.killed_source_crash", self_);
   h_total_ms_ = &tr.histogram("mig.migration.total_ms",
                               trace::default_latency_bounds_ms(), self_);
   h_freeze_ms_ = &tr.histogram("mig.migration.freeze_ms",
@@ -97,6 +109,14 @@ const MigrationRecord& MigrationManager::last_record() const {
   return records_.back();
 }
 
+void MigrationManager::notify_stage(Pid pid, MigStage s) {
+  if (stage_observers_.empty()) return;
+  // Copy: an observer may crash hosts, which mutates observer lists and
+  // clears outgoing_ reentrantly. Call sites revalidate afterwards.
+  auto obs = stage_observers_;
+  for (auto& fn : obs) fn(pid, s);
+}
+
 // ---------------------------------------------------------------------------
 // Outgoing
 // ---------------------------------------------------------------------------
@@ -148,7 +168,8 @@ void MigrationManager::migrate(const PcbPtr& pcb, HostId target,
                                           "kernel migration versions differ"));
                      it->second.rec.init_done_at =
                          host_.cluster().sim().now();
-                     after_init(token);
+                     notify_stage(it->second.rec.pid, MigStage::kInit);
+                     after_init(token);  // revalidates the token
                    });
 }
 
@@ -181,7 +202,8 @@ void MigrationManager::after_init(std::uint64_t token) {
     auto it = outgoing_.find(token);
     if (it == outgoing_.end()) return;
     it->second.rec.frozen_at = host_.cluster().sim().now();
-    do_vm_transfer(token);
+    notify_stage(it->second.rec.pid, MigStage::kFreeze);
+    do_vm_transfer(token);  // revalidates the token
   });
 }
 
@@ -211,13 +233,16 @@ void MigrationManager::precopy_round(std::uint64_t token, int round,
         return fail(token,
                     Status(Err::kSrch, "process exited during pre-copy"));
       og.rec.frozen_at = host_.cluster().sim().now();
-      vm::SpacePtr space = og.pcb->space;
+      notify_stage(og.rec.pid, MigStage::kFreeze);
+      it = outgoing_.find(token);  // an observer may have crashed hosts
+      if (it == outgoing_.end()) return;
+      vm::SpacePtr space = it->second.pcb->space;
       std::int64_t final_pages = space->dirty_pages();
       for (auto seg : vm::kAllSegments) {
         auto& st = space->segment(seg);
         st.dirty.assign(st.dirty.size(), false);
       }
-      og.rec.pages_moved += final_pages;
+      it->second.rec.pages_moved += final_pages;
       send_pages(token, final_pages, [this, token] {
         do_vm_transfer(token);
       });
@@ -276,6 +301,9 @@ void MigrationManager::do_vm_transfer(std::uint64_t token) {
     auto it = outgoing_.find(token);
     if (it == outgoing_.end()) return;
     it->second.rec.vm_done_at = host_.cluster().sim().now();
+    notify_stage(it->second.rec.pid, MigStage::kVmTransfer);
+    it = outgoing_.find(token);  // an observer may have crashed hosts
+    if (it == outgoing_.end()) return;
     PcbPtr pcb = it->second.pcb;
     // Remote-UNIX comparator: park the descriptor table at home instead of
     // exporting the streams; the process's file calls will be forwarded.
@@ -363,6 +391,7 @@ void MigrationManager::do_vm_transfer(std::uint64_t token) {
       }
       body->space = std::move(desc);
       residual_[space->asid()] = space;
+      residual_owner_[space->asid()] = it->second.target;
       proceed_to_streams();
       return;
     }
@@ -378,8 +407,9 @@ void MigrationManager::transfer_streams(
     if (it != outgoing_.end()) {
       it->second.rec.streams_moved = static_cast<std::int64_t>(fds.size());
       it->second.rec.streams_done_at = host_.cluster().sim().now();
+      notify_stage(it->second.rec.pid, MigStage::kStreams);
     }
-    done();
+    done();  // send_transfer revalidates the token
     return;
   }
   auto it = outgoing_.find(token);
@@ -434,6 +464,7 @@ void MigrationManager::send_transfer(std::uint64_t token,
     box->program = std::move(pcb->program);
     body->box = std::move(box);
   }
+  og.body = body;
 
   // Encapsulation consumes source CPU, then the state crosses the wire.
   host_.cpu().submit(
@@ -461,6 +492,10 @@ void MigrationManager::send_transfer(std::uint64_t token,
               c_out_->inc();
               records_.push_back(og.rec);
               note_success(og.rec);
+              notify_stage(og.rec.pid, MigStage::kResume);
+              // An observer may have crashed this very host; the completion
+              // callback belonged to the now-dead kernel.
+              if (host_.cluster().host_crashed(self_)) return;
               og.cb(Status::ok());
             });
       });
@@ -478,14 +513,24 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
                {{"to", std::to_string(og.target)},
                 {"why", why.to_string()}});
 
-  // Tell the target to drop any pending slot.
-  auto abort = std::make_shared<AbortReq>();
-  abort->pid = og.pcb->pid;
-  host_.rpc().call(og.target, ServiceId::kMigration,
-                   static_cast<int>(MigOp::kAbort), abort,
-                   [](util::Result<Reply>) {});
+  // Tell the target to drop any pending slot (pointless if it crashed —
+  // its pending_in_ died with it).
+  if (!host_.cluster().host_crashed(og.target)) {
+    auto abort = std::make_shared<AbortReq>();
+    abort->pid = og.pcb->pid;
+    host_.rpc().call(og.target, ServiceId::kMigration,
+                     static_cast<int>(MigOp::kAbort), abort,
+                     [](util::Result<Reply>) {});
+  }
 
   PcbPtr pcb = og.pcb;
+  // The program image may have moved into the in-flight transfer body (a
+  // peer crash can abort us between encapsulation and the RPC reply); a
+  // thawed process must never run without it.
+  if (pcb->program == nullptr && og.body && og.body->box &&
+      og.body->box->program) {
+    pcb->program = std::move(og.body->box->program);
+  }
   const bool was_frozen = pcb->state == proc::ProcState::kFrozen;
   auto finish = [this, pcb, was_frozen,
                  caller_resumes = og.resume_handled_by_caller,
@@ -504,8 +549,8 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
 
   // Restore the address space if the strategy already detached it.
   if (pcb->space) {
-    auto rit = residual_.find(pcb->space->asid());
-    if (rit != residual_.end()) residual_.erase(rit);
+    residual_.erase(pcb->space->asid());
+    residual_owner_.erase(pcb->space->asid());
     if (!pcb->space->segment(vm::Segment::kCode).backing &&
         pcb->space->segment(vm::Segment::kCode).pages > 0) {
       // Streams were released; re-adopt our own descriptor.
@@ -545,6 +590,84 @@ void MigrationManager::evict_all_foreign(std::function<void(int)> cb) {
       }
       if (--prog->pending == 0) (*shared_cb)(prog->evicted);
     });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash support
+// ---------------------------------------------------------------------------
+
+void MigrationManager::crash_reset() {
+  outgoing_.clear();  // no callbacks: their closures died with the kernel
+  pending_in_.clear();
+  residual_.clear();
+  residual_owner_.clear();
+  cor_sources_.clear();
+}
+
+void MigrationManager::note_process_reaped(Pid pid) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [token, og] : outgoing_)
+    if (og.pcb->pid == pid) doomed.push_back(token);
+  for (const auto token : doomed) {
+    auto it = outgoing_.find(token);
+    if (it == outgoing_.end()) continue;
+    Outgoing og = std::move(it->second);
+    outgoing_.erase(it);
+    c_failed_->inc();
+    if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+      tr.instant("mig", "migrate aborted: process reaped", self_,
+                 static_cast<std::int64_t>(pid),
+                 {{"to", std::to_string(og.target)}});
+    if (!host_.cluster().host_crashed(og.target)) {
+      auto abort = std::make_shared<AbortReq>();
+      abort->pid = pid;
+      host_.rpc().call(og.target, ServiceId::kMigration,
+                       static_cast<int>(MigOp::kAbort), abort,
+                       [](util::Result<Reply>) {});
+    }
+    og.cb(Status(Err::kNoEnt, "process died during migration"));
+  }
+}
+
+void MigrationManager::peer_crashed(HostId peer) {
+  // Outgoing migrations targeting the dead host: roll back and thaw now
+  // instead of waiting out the RPC retry limit.
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [token, og] : outgoing_)
+    if (og.target == peer) doomed.push_back(token);
+  for (const auto token : doomed)
+    fail(token, Status(Err::kTimedOut, "migration target crashed"));
+
+  // Half-accepted incoming transfers from the dead source never complete.
+  for (auto it = pending_in_.begin(); it != pending_in_.end();)
+    it = it->second == peer ? pending_in_.erase(it) : std::next(it);
+
+  // Residual copy-on-reference images serving the dead host are
+  // unreachable; free them.
+  for (auto it = residual_owner_.begin(); it != residual_owner_.end();) {
+    if (it->second != peer) {
+      ++it;
+      continue;
+    }
+    residual_.erase(it->first);
+    it = residual_owner_.erase(it);
+  }
+
+  // Processes here that pull pages from the dead source can never fault
+  // another page in: kill them (the residual-dependency hazard that made
+  // Sprite prefer flushing over copy-on-reference).
+  std::vector<Pid> stranded;
+  for (const auto& [pid, src] : cor_sources_)
+    if (src == peer) stranded.push_back(pid);
+  for (const Pid pid : stranded) {
+    cor_sources_.erase(pid);
+    if (!host_.procs().find(pid)) continue;
+    c_cor_kills_->inc();
+    if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+      tr.instant("mig", "killed: cor source crashed", self_,
+                 static_cast<std::int64_t>(pid));
+    host_.procs().deliver_signal(pid, 9);
   }
 }
 
@@ -660,7 +783,27 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
     pcb->fds[fd] = host_.fs().import_stream(exported);
 
   const HostId source = src;
-  auto finish_install = [this, pcb, respond = std::move(respond)]() mutable {
+  auto respond_sp =
+      std::make_shared<std::function<void(Reply)>>(std::move(respond));
+
+  // Installation failed after streams were already imported: release them
+  // (balancing the server-side attribution this host just gained) and reply
+  // with the error, so the source rolls back and thaws promptly instead of
+  // waiting out the RPC timeout. The half-built PCB dies here.
+  auto reject = [this, pcb, respond_sp](Status why) {
+    std::vector<fs::StreamPtr> to_close;
+    for (auto& [fd, s] : pcb->fds)
+      if (--s->local_refs == 0) to_close.push_back(s);
+    pcb->fds.clear();
+    for (auto& s : to_close) host_.fs().close(s, [](Status) {});
+    if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+      tr.instant("mig", "transfer rejected", self_,
+                 static_cast<std::int64_t>(pcb->pid),
+                 {{"why", why.to_string()}});
+    (*respond_sp)(Reply{why, nullptr});
+  };
+
+  auto finish_install = [this, pcb, respond_sp]() mutable {
     // Update the home machine before the process can run (wait-notifies and
     // signals must find the new location).
     auto upd = std::make_shared<proc::UpdateLocationReq>();
@@ -669,7 +812,7 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
     host_.rpc().call(
         pcb->home, ServiceId::kProc,
         static_cast<int>(proc::ProcOp::kUpdateLocation), upd,
-        [this, pcb, respond = std::move(respond)](util::Result<Reply>) mutable {
+        [this, pcb, respond_sp](util::Result<Reply>) mutable {
           c_in_->inc();
           if (trace::Registry& tr = host_.cluster().sim().trace();
               tr.tracing())
@@ -677,24 +820,22 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
                        static_cast<std::int64_t>(pcb->pid),
                        {{"home", std::to_string(pcb->home)}});
           host_.procs().install_and_resume(pcb);
-          respond(Reply{Status::ok(), nullptr});
+          (*respond_sp)(Reply{Status::ok(), nullptr});
         });
   };
 
   // De-encapsulation consumes target CPU.
   host_.cpu().submit(
       JobClass::kKernel, host_.cluster().costs().mig_deencapsulate_cpu,
-      [this, pcb, req, source, finish_install = std::move(finish_install)]() mutable {
+      [this, pcb, req, source, reject,
+       finish_install = std::move(finish_install)]() mutable {
         if (req.has_space) {
           host_.vm().adopt_space(
               req.space,
-              [this, pcb, req, source, finish_install = std::move(finish_install)](
+              [this, pcb, req, source, reject,
+               finish_install = std::move(finish_install)](
                   util::Result<vm::SpacePtr> r) mutable {
-                if (!r.is_ok()) {
-                  // Cannot reconstruct the image; the source will time out
-                  // and thaw. Drop our half-built state.
-                  return;
-                }
+                if (!r.is_ok()) return reject(r.status());
                 pcb->space = *r;
                 if (req.cor_source_resident) {
                   // Faults on previously-resident pages pull from the
@@ -710,6 +851,7 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
                         fetch_remote_chunks(source, asid, seg, first, count,
                                             std::move(cb));
                       });
+                  cor_sources_[pcb->pid] = source;
                 }
                 finish_install();
               });
@@ -719,16 +861,19 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
         // Exec-time migration: rebuild the image from the executable.
         const proc::ProgramImage* image =
             host_.cluster().find_program(pcb->exe_path);
-        if (image == nullptr) return;  // source times out and thaws
+        if (image == nullptr)
+          return reject(Status(Err::kNoEnt, pcb->exe_path));
         host_.cpu().submit(
             JobClass::kKernel, host_.cluster().costs().exec_cpu,
-            [this, pcb, image, finish_install = std::move(finish_install)]() mutable {
+            [this, pcb, image, reject,
+             finish_install = std::move(finish_install)]() mutable {
               host_.vm().create_space(
                   pcb->exe_path, image->code_pages, image->heap_pages,
                   image->stack_pages,
-                  [this, pcb, image, finish_install = std::move(finish_install)](
+                  [this, pcb, image, reject,
+                   finish_install = std::move(finish_install)](
                       util::Result<vm::SpacePtr> r) mutable {
-                    if (!r.is_ok()) return;
+                    if (!r.is_ok()) return reject(r.status());
                     pcb->space = *r;
                     if (!pcb->program) pcb->program = image->factory(pcb->args);
                     pcb->view.clear_result();

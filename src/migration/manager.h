@@ -85,6 +85,18 @@ struct MigrationRecord {
   sim::Time freeze_time() const { return resumed_at - frozen_at; }
 };
 
+// The points in the outgoing migration protocol where a crash can strand
+// state; fault-injection tests hook add_stage_observer to crash hosts at
+// each of them and assert both ends converge.
+enum class MigStage : int {
+  kInit,        // target accepted the version handshake
+  kFreeze,      // process stopped executing on the source
+  kVmTransfer,  // VM strategy finished (flush/copy/tables shipped)
+  kStreams,     // open streams re-attributed at their I/O servers
+  kResume,      // process installed and runnable on the target
+};
+const char* mig_stage_name(MigStage s);
+
 class MigrationManager : public proc::MigratorIface {
  public:
   explicit MigrationManager(kern::Host& host);
@@ -108,9 +120,41 @@ class MigrationManager : public proc::MigratorIface {
   void migrate(const proc::PcbPtr& pcb, sim::HostId target,
                std::function<void(util::Status)> cb) override;
 
+  // proc::MigratorIface: the process died underneath an outgoing migration
+  // (home-machine crash). Aborts the transfer — tells the target to drop
+  // its slot — without thawing or restoring the destroyed PCB.
+  void note_process_reaped(proc::Pid pid) override;
+
   // Evicts every foreign process back to its home machine (the owner
   // returned). cb receives the number evicted once all transfers finish.
   void evict_all_foreign(std::function<void(int)> cb);
+
+  // ---- Stage observation (fault-injection hooks) ----
+  // Fired on the source host as each outgoing migration passes a protocol
+  // stage. Observers may crash hosts; every pipeline continuation
+  // revalidates its token afterwards, so a crash at any stage is safe.
+  using StageObserver = std::function<void(proc::Pid, MigStage)>;
+  void add_stage_observer(StageObserver fn) {
+    stage_observers_.push_back(std::move(fn));
+  }
+
+  // ---- Crash support ----
+  // Migrations this host is currently a party to (outgoing + accepted-in);
+  // used by the starvation diagnosis dump.
+  std::size_t active_migrations() const {
+    return outgoing_.size() + pending_in_.size();
+  }
+  // This host crashed: every migration in flight, residual
+  // copy-on-reference image, and half-accepted incoming transfer is
+  // dropped. No callbacks fire — their closures belonged to the dead
+  // kernel.
+  void crash_reset();
+  // A peer crashed: outgoing migrations targeting it roll back and thaw
+  // immediately (instead of waiting out the RPC retry limit), incoming
+  // slots it initiated are dropped, residual images serving it are freed,
+  // and local processes that depend on it for copy-on-reference pages are
+  // killed (the residual-dependency cost the thesis warns about).
+  void peer_crashed(sim::HostId peer);
 
   // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {
@@ -137,6 +181,10 @@ class MigrationManager : public proc::MigratorIface {
     // completes the call; we only thaw the state. Otherwise (eviction,
     // direct kernel-initiated migration) a frozen process is resumed here.
     bool resume_handled_by_caller = false;
+    // Retained while the kTransfer RPC is in flight: the program image moves
+    // into the request body, and fail() must be able to reclaim it no matter
+    // which path (RPC error, peer crash) aborts the migration.
+    std::shared_ptr<TransferReq> body;
   };
 
   void handle_rpc(sim::HostId src, const rpc::Request& req,
@@ -175,8 +223,19 @@ class MigrationManager : public proc::MigratorIface {
   // Target side: pids with an accepted kInit pending a kTransfer.
   std::map<proc::Pid, sim::HostId> pending_in_;
 
-  // Copy-on-reference source images, by asid.
+  // Copy-on-reference source images, by asid, and which host each one
+  // serves (so a target crash can free the now-unreachable image).
   std::map<std::int64_t, vm::SpacePtr> residual_;
+  std::map<std::int64_t, sim::HostId> residual_owner_;
+
+  // Local processes whose pages pull from a remote source (target side of
+  // kCopyOnRef): pid -> source host. A source crash kills them.
+  std::map<proc::Pid, sim::HostId> cor_sources_;
+
+  // Fires the stage observers; tolerates observers that crash hosts (and
+  // thereby clear outgoing_) reentrantly.
+  void notify_stage(proc::Pid pid, MigStage s);
+  std::vector<StageObserver> stage_observers_;
 
   // Emits the freeze/vm/streams/resume span breakdown and feeds the latency
   // histograms once a migration completes.
@@ -188,6 +247,7 @@ class MigrationManager : public proc::MigratorIface {
   trace::Counter* c_failed_;
   trace::Counter* c_evictions_;
   trace::Counter* c_cor_pages_;
+  trace::Counter* c_cor_kills_;
   trace::LatencyHistogram* h_total_ms_;
   trace::LatencyHistogram* h_freeze_ms_;
   mutable Stats stats_view_;

@@ -36,6 +36,7 @@ ProcTable::ProcTable(kern::Host& host) : host_(host), self_(host.id()) {
   c_exits_ = &tr.counter("proc.process.exited", self_);
   c_syscalls_ = &tr.counter("proc.syscall.entered", self_);
   c_forwarded_ = &tr.counter("proc.syscall.forwarded_home", self_);
+  c_peer_kills_ = &tr.counter("proc.process.killed_home_crash", self_);
 }
 
 const ProcTable::Stats& ProcTable::stats() const {
@@ -1010,6 +1011,80 @@ void ProcTable::install_and_resume(const PcbPtr& pcb) {
   }
   pcb->state = ProcState::kRunnable;
   continue_process(pcb);
+}
+
+// ---------------------------------------------------------------------------
+// Crash support
+// ---------------------------------------------------------------------------
+
+void ProcTable::crash_reset() {
+  for (auto& [pid, p] : procs_) {
+    if (p->paused) p->pause_event.cancel();
+    p->freeze_waiter = nullptr;
+    p->cpu_job = sim::kInvalidCpuJob;  // the CPU queues are wiped separately
+    p->state = ProcState::kDead;
+    p->fds.clear();  // stream state dies with the host's FS client
+    p->space = nullptr;
+  }
+  procs_.clear();
+  // Home records die too. Foreign processes born here that run elsewhere
+  // are reaped by their current host's peer_crashed; waiters for them lived
+  // in this kernel and are gone with it.
+  home_records_.clear();
+  // next_seq_ is deliberately kept: pids allocated after the reboot must
+  // not collide with pids that may still be referenced by survivors.
+}
+
+void ProcTable::peer_crashed(HostId peer) {
+  // Foreign processes whose home machine died: nobody is left that knows
+  // their pid, parent, or waiters — reap them silently.
+  std::vector<PcbPtr> orphans;
+  for (auto& [pid, p] : procs_)
+    if (p->home == peer) orphans.push_back(p);
+  for (auto& p : orphans) reap_on_peer_crash(p);
+
+  // Home records of processes that were executing on the dead host: they
+  // died with it. home_exit unblocks waiters and fires exit observers with
+  // the crash status.
+  std::vector<Pid> died;
+  for (auto& [pid, rec] : home_records_)
+    if (rec.alive && rec.current == peer) died.push_back(pid);
+  for (Pid pid : died) home_exit(pid, kHostCrashExitStatus);
+}
+
+void ProcTable::reap_on_peer_crash(const PcbPtr& pcb) {
+  if (pcb->state == ProcState::kDead) return;
+  // An outgoing migration of this process must abort before the PCB's space
+  // and descriptors are torn down underneath its pipeline.
+  if (migrator_) migrator_->note_process_reaped(pcb->pid);
+  if (pcb->paused) {
+    pcb->pause_event.cancel();
+    pcb->paused = false;
+  }
+  if (pcb->cpu_job != sim::kInvalidCpuJob) {
+    host_.cpu().cancel(pcb->cpu_job);
+    pcb->cpu_job = sim::kInvalidCpuJob;
+  }
+  pcb->freeze_waiter = nullptr;
+  pcb->blocked_in_wait = false;
+  pcb->state = ProcState::kDead;
+  c_peer_kills_->inc();
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+    tr.instant("proc", "killed: home crashed", self_,
+               static_cast<std::int64_t>(pcb->pid));
+  // Release descriptors: streams on surviving servers are closed properly so
+  // their refcounts stay balanced; closes against the dead server fail
+  // harmlessly after the RPC layer gives up.
+  std::vector<fs::StreamPtr> to_close;
+  for (auto& [fd, s] : pcb->fds)
+    if (--s->local_refs == 0) to_close.push_back(s);
+  pcb->fds.clear();
+  for (auto& s : to_close) host_.fs().close(s, [](Status) {});
+  if (pcb->space) {
+    vm::SpacePtr space = std::move(pcb->space);
+    host_.vm().destroy_space(std::move(space), [](Status) {});
+  }
+  procs_.erase(pcb->pid);
 }
 
 // ---------------------------------------------------------------------------

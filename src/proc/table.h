@@ -34,6 +34,10 @@ class Host;
 
 namespace sprite::proc {
 
+// Exit status reported for processes that died because a host crashed
+// (128 + SIGKILL, the convention a kill -9 would produce).
+inline constexpr int kHostCrashExitStatus = 137;
+
 // Interface the migration module implements; keeps proc/ decoupled from
 // migration/ (which depends on proc/).
 class MigratorIface {
@@ -42,6 +46,10 @@ class MigratorIface {
   // Moves `pcb` (resident on this host, already eligible) to `target`.
   virtual void migrate(const PcbPtr& pcb, sim::HostId target,
                        std::function<void(util::Status)> cb) = 0;
+  // The process table destroyed `pid` outside the migration protocol (its
+  // home machine crashed): any outgoing migration of it must abort without
+  // touching the now-dead PCB.
+  virtual void note_process_reaped(Pid /*pid*/) {}
 };
 
 class ProcTable {
@@ -102,6 +110,24 @@ class ProcTable {
   // Continues a process after externally-managed state changes (used by the
   // migration module after exec-time image construction).
   void resume(const PcbPtr& pcb);
+
+  // ---- Crash support ----
+  // This host crashed: every PCB and home record dies with it. No RPCs are
+  // issued (the host is off the network); pending sleep timers are cancelled
+  // so they cannot fire into the rebooted kernel. Exit observers registered
+  // on home records are dropped, not fired — their closures belonged to the
+  // dead kernel.
+  void crash_reset();
+  // A peer crashed. Foreign processes whose home machine died are reaped
+  // silently (nobody is left that knows their pid); home records of
+  // processes that were executing on the dead host are marked exited with
+  // kHostCrashExitStatus, which unblocks waiters and fires exit observers.
+  void peer_crashed(sim::HostId peer);
+
+  // Delivers a signal to a process resident on this host (re-routed via the
+  // home machine if it moved). Public so the migration module can kill
+  // processes whose copy-on-reference page source crashed.
+  void deliver_signal(Pid pid, int sig);
 
   // ---- Remote-UNIX comparator (thesis §4.3.1 design alternative) ----
   // Moves the process's descriptor table into its home record so that file
@@ -172,8 +198,10 @@ class ProcTable {
   WaitRep home_wait(Pid parent, sim::HostId waiter_host);
   util::Status home_signal(Pid pid, int sig);
   // Delivery on the current host.
-  void deliver_signal(Pid pid, int sig);
   void deliver_wait_notify(Pid parent, Pid child, int status);
+  // Destroys a foreign PCB whose home machine crashed: no exit notification
+  // is sent (the home is gone), but local resources are released.
+  void reap_on_peer_crash(const PcbPtr& pcb);
 
   kern::Host& host_;
   sim::HostId self_;
@@ -189,6 +217,10 @@ class ProcTable {
   trace::Counter* c_exits_;
   trace::Counter* c_syscalls_;
   trace::Counter* c_forwarded_;
+  // Foreign processes killed because their home machine crashed — distinct
+  // from owner-return evictions (mig.eviction.completed), which move the
+  // process home alive.
+  trace::Counter* c_peer_kills_;
   mutable Stats stats_view_;
 };
 

@@ -1,5 +1,8 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
+#include <string>
+
 #include "util/assert.h"
 #include "util/log.h"
 
@@ -31,6 +34,63 @@ RpcNode::RpcNode(sim::Simulator& sim, sim::Network& net, sim::Cpu& cpu,
   c_retrans_ = &tr.counter("rpc.call.retransmitted", self_);
   c_timeouts_ = &tr.counter("rpc.call.timedout", self_);
   c_served_ = &tr.counter("rpc.request.served", self_);
+  c_reincarnations_ = &tr.counter("rpc.peer.reincarnated", self_);
+}
+
+void RpcNode::crash_reset() {
+  for (auto& [id, pc] : pending_) pc.timeout.cancel();
+  pending_.clear();  // callbacks died with the host: never invoked
+  served_.clear();
+  served_order_.clear();
+  peer_epochs_.clear();  // knowledge of peers was in volatile memory too
+  ++epoch_;
+}
+
+void RpcNode::note_peer_epoch(HostId peer, std::uint32_t epoch) {
+  auto [it, inserted] = peer_epochs_.emplace(peer, epoch);
+  if (inserted || epoch <= it->second) {
+    if (!inserted) it->second = std::max(it->second, epoch);
+    return;
+  }
+  it->second = epoch;
+  // The peer rebooted: dedup slots from its previous incarnation can never
+  // be legitimately retransmitted (call ids restart), so drop them.
+  for (auto sit = served_.lower_bound({peer, 0});
+       sit != served_.end() && sit->first.first == peer;)
+    sit = served_.erase(sit);
+  c_reincarnations_->inc();
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("rpc", "peer_reincarnated", self_, -1,
+               {{"peer", std::to_string(peer)}});
+  if (reincarnation_observer_) reincarnation_observer_(peer);
+}
+
+std::vector<RpcNode::PendingCallInfo> RpcNode::pending_calls() const {
+  std::vector<PendingCallInfo> out;
+  out.reserve(pending_.size());
+  for (const auto& [id, pc] : pending_)
+    out.push_back(
+        PendingCallInfo{id, pc.dst, pc.req.service, pc.req.op, pc.attempts});
+  return out;
+}
+
+std::function<bool(const sim::Packet&)> RpcNode::match_request(
+    ServiceId service, int op, sim::HostId dst) {
+  return [service, op, dst](const sim::Packet& pkt) {
+    if (dst != sim::kInvalidHost && pkt.dst != dst) return false;
+    const auto* w = std::any_cast<WireRequest>(&pkt.payload);
+    if (w == nullptr) return false;
+    if (w->req.service != service) return false;
+    return op < 0 || w->req.op == op;
+  };
+}
+
+std::function<bool(const sim::Packet&)> RpcNode::match_reply(
+    sim::HostId dst) {
+  return [dst](const sim::Packet& pkt) {
+    if (dst != sim::kInvalidHost && pkt.dst != dst) return false;
+    return std::any_cast<WireReply>(&pkt.payload) != nullptr;
+  };
 }
 
 void RpcNode::register_service(ServiceId id, Handler handler) {
@@ -93,7 +153,7 @@ void RpcNode::transmit(std::uint64_t call_id) {
   cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg, [this, call_id] {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;  // completed or failed meanwhile
-    WireRequest w{call_id, it->second.req};
+    WireRequest w{call_id, epoch_, it->second.req};
     net_.send(self_, it->second.dst, it->second.req.wire_bytes(),
               std::any(std::move(w)));
     arm_timeout(call_id);
@@ -134,7 +194,7 @@ void RpcNode::handle_packet(const sim::Packet& pkt) {
   }
   if (const auto* wrep = std::any_cast<WireReply>(&pkt.payload)) {
     cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
-                [this, w = *wrep] { handle_reply(w); });
+                [this, src = pkt.src, w = *wrep] { handle_reply(src, w); });
     return;
   }
   SPRITE_UNREACHABLE("unknown packet payload type");
@@ -146,12 +206,13 @@ void RpcNode::multicast(ServiceId service, int op, MessagePtr body) {
   // call_id 0 marks a one-way request: no dedup, no reply.
   cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
               [this, req = std::move(req), bytes]() mutable {
-                WireRequest w{0, std::move(req)};
+                WireRequest w{0, epoch_, std::move(req)};
                 net_.multicast(self_, bytes, std::any(std::move(w)));
               });
 }
 
 void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
+  note_peer_epoch(src, wreq.epoch);
   if (wreq.call_id == 0) {
     // One-way multicast: dispatch with a reply sink that goes nowhere.
     auto svc_it = services_.find(wreq.req.service);
@@ -165,7 +226,7 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
   if (slot_it != served_.end()) {
     if (slot_it->second.completed) {
       // Duplicate of a completed call: replay the cached reply.
-      WireReply w{wreq.call_id, slot_it->second.cached};
+      WireReply w{wreq.call_id, epoch_, slot_it->second.cached};
       net_.send(self_, src, slot_it->second.cached.wire_bytes(),
                 std::any(std::move(w)));
     }
@@ -173,8 +234,26 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     return;
   }
 
-  if (served_.size() > 4096) served_.erase(served_.begin());
+  // Bound the dedup cache by pruning *completed* slots in insertion order.
+  // In-progress slots are never evicted: losing one would let a
+  // retransmission re-execute its handler, breaking at-most-once. (The old
+  // code erased served_.begin() — the lowest (host, call_id) key — which
+  // under load evicted live in-progress slots for low-numbered hosts while
+  // retaining stale completed ones.)
+  std::size_t scanned = served_order_.size();
+  while (served_.size() > 4096 && scanned-- > 0) {
+    const auto victim = served_order_.front();
+    served_order_.pop_front();
+    auto vit = served_.find(victim);
+    if (vit == served_.end()) continue;  // purged by an epoch jump
+    if (vit->second.completed) {
+      served_.erase(vit);
+    } else {
+      served_order_.push_back(victim);  // in-progress: keep, re-queue
+    }
+  }
   served_.emplace(key, ServerSlot{});
+  served_order_.push_back(key);
   c_served_->inc();
 
   std::function<void(Reply)> respond = [this, src, call_id = wreq.call_id,
@@ -187,7 +266,7 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     // Reply marshalling consumes server CPU, then the wire.
     cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
                 [this, src, call_id, rep = std::move(rep)] {
-                  WireReply w{call_id, rep};
+                  WireReply w{call_id, epoch_, rep};
                   net_.send(self_, src, rep.wire_bytes(),
                             std::any(std::move(w)));
                 });
@@ -213,7 +292,8 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
   svc_it->second(src, wreq.req, std::move(respond));
 }
 
-void RpcNode::handle_reply(const WireReply& wrep) {
+void RpcNode::handle_reply(HostId src, const WireReply& wrep) {
+  note_peer_epoch(src, wrep.epoch);
   auto it = pending_.find(wrep.call_id);
   if (it == pending_.end()) return;  // late reply after timeout: ignore
   it->second.timeout.cancel();

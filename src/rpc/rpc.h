@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/costs.h"
 #include "sim/cpu.h"
@@ -108,6 +111,39 @@ class RpcNode {
   // are assigned by Network::attach).
   void handle_packet(const sim::Packet& pkt);
 
+  // ---- crash / reboot support ----
+  // Tears down all soft state as a crash would: pending calls are abandoned
+  // (their callbacks are *not* invoked — the caller's state died with the
+  // host), the dedup cache is dropped, and the reboot epoch is bumped so
+  // peers can detect the reincarnation. Service registrations survive: the
+  // subsystem objects stay alive and a reboot reuses them.
+  void crash_reset();
+  std::uint32_t epoch() const { return epoch_; }
+  // Fires when a message from `peer` carries a higher epoch than previously
+  // seen, i.e. the peer crashed and rebooted since we last spoke.
+  void set_reincarnation_observer(std::function<void(sim::HostId)> obs) {
+    reincarnation_observer_ = std::move(obs);
+  }
+
+  // ---- fault-injection filters (sim/fault.h) ----
+  // Packet predicates for FaultPlan rules; defined here because the wire
+  // framing is private to RpcNode. `op` / `dst` of -1 / kInvalidHost match
+  // anything.
+  static std::function<bool(const sim::Packet&)> match_request(
+      ServiceId service, int op = -1, sim::HostId dst = sim::kInvalidHost);
+  static std::function<bool(const sim::Packet&)> match_reply(
+      sim::HostId dst = sim::kInvalidHost);
+
+  // ---- diagnostics ----
+  struct PendingCallInfo {
+    std::uint64_t call_id = 0;
+    sim::HostId dst = sim::kInvalidHost;
+    ServiceId service{};
+    int op = 0;
+    int attempts = 0;
+  };
+  std::vector<PendingCallInfo> pending_calls() const;
+
   // ---- statistics (registry-backed; see trace/trace.h) ----
   std::int64_t calls_started() const { return c_started_->value(); }
   std::int64_t retransmissions() const { return c_retrans_->value(); }
@@ -117,10 +153,12 @@ class RpcNode {
  private:
   struct WireRequest {
     std::uint64_t call_id;
+    std::uint32_t epoch;  // sender's reboot epoch
     Request req;
   };
   struct WireReply {
     std::uint64_t call_id;
+    std::uint32_t epoch;
     Reply rep;
   };
 
@@ -133,9 +171,12 @@ class RpcNode {
   };
 
   void handle_request(sim::HostId src, const WireRequest& wreq);
-  void handle_reply(const WireReply& wrep);
+  void handle_reply(sim::HostId src, const WireReply& wrep);
   void transmit(std::uint64_t call_id);
   void arm_timeout(std::uint64_t call_id);
+  // Records `epoch` for `peer`; a jump means the peer rebooted, so its old
+  // incarnation's dedup slots are purged and the observer fires.
+  void note_peer_epoch(sim::HostId peer, std::uint32_t epoch);
 
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -146,6 +187,9 @@ class RpcNode {
   std::map<ServiceId, Handler> services_;
   std::map<std::uint64_t, PendingCall> pending_;
   std::uint64_t next_call_id_ = 1;
+  std::uint32_t epoch_ = 1;  // bumped on every crash
+  std::map<sim::HostId, std::uint32_t> peer_epochs_;
+  std::function<void(sim::HostId)> reincarnation_observer_;
 
   // At-most-once duplicate suppression: (client, call_id) -> cached reply.
   // In-progress entries hold no reply yet; retransmissions of those are
@@ -155,6 +199,9 @@ class RpcNode {
     Reply cached;
   };
   std::map<std::pair<sim::HostId, std::uint64_t>, ServerSlot> served_;
+  // Insertion order of served_ keys, for completed-only FIFO pruning. May
+  // contain keys already purged by an epoch jump; pruning skips those.
+  std::deque<std::pair<sim::HostId, std::uint64_t>> served_order_;
 
   // Per-host counters in the simulator's trace registry (stable addresses,
   // cached once at construction).
@@ -162,6 +209,7 @@ class RpcNode {
   trace::Counter* c_retrans_;
   trace::Counter* c_timeouts_;
   trace::Counter* c_served_;
+  trace::Counter* c_reincarnations_;
 };
 
 }  // namespace sprite::rpc

@@ -90,6 +90,20 @@ double Cpu::utilization() const {
   return (busy_time(JobClass::kKernel) + busy_time(JobClass::kUser)) / now;
 }
 
+void Cpu::crash_reset() {
+  if (running_) {
+    running_->event.cancel();
+    const Time served = sim_.now() - running_->started;
+    (running_->job.cls == JobClass::kKernel ? busy_kernel_ : busy_user_) +=
+        served;
+    running_.reset();
+  }
+  kernel_q_.clear();
+  user_q_.clear();
+  load_avg_ = 0.0;
+  load_bias_ = 0.0;
+}
+
 Cpu::Job Cpu::preempt_running() {
   SPRITE_CHECK(running_);
   running_->event.cancel();

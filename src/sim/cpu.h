@@ -59,6 +59,12 @@ class Cpu {
   Time busy_time(JobClass cls) const;
   double utilization() const;  // all classes, over time since construction
 
+  // Crash support: discards all queued and running work without invoking
+  // completion callbacks (the continuations died with the host) and zeroes
+  // the load state. Service-time accounting survives — the host really did
+  // burn those cycles before it died.
+  void crash_reset();
+
  private:
   struct Job {
     CpuJobId id;

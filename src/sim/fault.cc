@@ -1,0 +1,118 @@
+#include "sim/fault.h"
+
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::sim {
+
+FaultPlan::FaultPlan(Simulator& sim, Network& net) : sim_(sim), net_(net) {
+  auto& tr = sim_.trace();
+  c_crashes_ = &tr.counter("fault.crash.injected");
+  c_reboots_ = &tr.counter("fault.reboot.injected");
+  c_dropped_ = &tr.counter("fault.message.dropped");
+  c_delayed_ = &tr.counter("fault.message.delayed");
+}
+
+FaultPlan::~FaultPlan() { disarm(); }
+
+void FaultPlan::crash_host(HostId h, Time at) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  crashes_.push_back(CrashEntry{h, at, false, Time::zero()});
+}
+
+void FaultPlan::crash_host(HostId h, Time at, Time reboot_after) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  crashes_.push_back(CrashEntry{h, at, true, reboot_after});
+}
+
+void FaultPlan::drop_message(Filter f, int nth) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  SPRITE_CHECK(nth >= 1);
+  MessageRule r;
+  r.filter = std::move(f);
+  r.nth = nth;
+  r.drop = true;
+  rules_.push_back(std::move(r));
+}
+
+void FaultPlan::delay_message(Filter f, int nth, Time delay) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  SPRITE_CHECK(nth >= 1);
+  MessageRule r;
+  r.filter = std::move(f);
+  r.nth = nth;
+  r.drop = false;
+  r.delay = delay;
+  rules_.push_back(std::move(r));
+}
+
+void FaultPlan::arm(Hooks hooks) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan armed twice");
+  armed_ = true;
+  hooks_ = std::move(hooks);
+
+  for (const CrashEntry& e : crashes_) {
+    events_.push_back(sim_.at(e.at, [this, e] {
+      c_crashes_->inc();
+      auto& tr = sim_.trace();
+      if (tr.tracing())
+        tr.instant("fault", "crash", e.host, -1,
+                   {{"host", std::to_string(e.host)}});
+      if (hooks_.crash) hooks_.crash(e.host);
+    }));
+    if (e.reboot) {
+      events_.push_back(sim_.at(e.at + e.reboot_after, [this, e] {
+        c_reboots_->inc();
+        auto& tr = sim_.trace();
+        if (tr.tracing())
+          tr.instant("fault", "reboot", e.host, -1,
+                     {{"host", std::to_string(e.host)}});
+        if (hooks_.reboot) hooks_.reboot(e.host);
+      }));
+    }
+  }
+
+  // Install the network hook only when message rules exist: a crash-only
+  // (or empty) plan leaves the delivery path untouched.
+  if (!rules_.empty())
+    net_.set_fault_hook([this](const Packet& pkt) { return on_packet(pkt); });
+}
+
+void FaultPlan::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  for (EventHandle& e : events_) e.cancel();
+  events_.clear();
+  if (!rules_.empty()) net_.set_fault_hook(nullptr);
+}
+
+FaultDecision FaultPlan::on_packet(const Packet& pkt) {
+  FaultDecision d;
+  auto& tr = sim_.trace();
+  for (MessageRule& r : rules_) {
+    if (r.fired || !r.filter(pkt)) continue;
+    if (++r.seen < r.nth) continue;
+    r.fired = true;
+    if (r.drop) {
+      d.drop = true;
+      c_dropped_->inc();
+      if (tr.tracing())
+        tr.instant("fault", "message_dropped", pkt.src, -1,
+                   {{"dst", std::to_string(pkt.dst)},
+                    {"bytes", std::to_string(pkt.bytes)}});
+      return d;  // dropped messages cannot also be delayed
+    }
+    d.delay += r.delay;
+    c_delayed_->inc();
+    if (tr.tracing())
+      tr.instant("fault", "message_delayed", pkt.src, -1,
+                 {{"dst", std::to_string(pkt.dst)},
+                  {"delay_ms", std::to_string(r.delay.ms())}});
+  }
+  return d;
+}
+
+}  // namespace sprite::sim

@@ -1,0 +1,95 @@
+// Deterministic fault injection.
+//
+// A FaultPlan is a scripted schedule of failures — crash host H at time T,
+// reboot it D later, drop or delay the N-th network message matching a
+// filter — driven entirely off the simulated clock and the shared-medium
+// network, so the same seed plus the same plan replays bit-for-bit.
+//
+// The plan itself is policy-free: it does not know what "crash" means to a
+// kernel. The caller arms it with Hooks (normally Cluster::crash_host /
+// reboot_host) and the plan fires them at the scripted instants. Message
+// faults install Network::set_fault_hook; filters are composed by the
+// caller, typically from rpc::RpcNode::match_request / match_reply so a
+// plan can say "drop the 2nd kMigration transfer request to host 3".
+//
+// Everything a plan does is mirrored into the trace registry: `fault.*`
+// counters always, instant events when tracing is enabled. An armed plan
+// with no entries is observationally identical to no plan at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/ids.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sprite::sim {
+
+class FaultPlan {
+ public:
+  using Filter = std::function<bool(const Packet&)>;
+  struct Hooks {
+    std::function<void(HostId)> crash;
+    std::function<void(HostId)> reboot;
+  };
+
+  FaultPlan(Simulator& sim, Network& net);
+  ~FaultPlan();  // disarms
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // ---- Script entries (call before arm()) ----
+  // Crash `h` at absolute time `at`; optionally reboot it `reboot_after`
+  // later.
+  void crash_host(HostId h, Time at);
+  void crash_host(HostId h, Time at, Time reboot_after);
+  // Drop the nth (1-based) message matching `f` seen after arming.
+  void drop_message(Filter f, int nth = 1);
+  // Delay the nth matching message by `delay` instead of dropping it.
+  void delay_message(Filter f, int nth, Time delay);
+
+  // Schedules the crash/reboot events and installs the network fault hook
+  // (only when the plan contains message rules). Call at most once.
+  void arm(Hooks hooks);
+  // Removes the network hook; scheduled crash/reboot events are cancelled.
+  void disarm();
+
+  bool armed() const { return armed_; }
+
+ private:
+  struct CrashEntry {
+    HostId host = kInvalidHost;
+    Time at;
+    bool reboot = false;
+    Time reboot_after;
+  };
+  struct MessageRule {
+    Filter filter;
+    std::int64_t seen = 0;  // matching messages observed so far
+    std::int64_t nth = 1;
+    bool drop = true;
+    Time delay;
+    bool fired = false;
+  };
+
+  FaultDecision on_packet(const Packet& pkt);
+
+  Simulator& sim_;
+  Network& net_;
+  bool armed_ = false;
+  Hooks hooks_;
+  std::vector<CrashEntry> crashes_;
+  std::vector<MessageRule> rules_;
+  std::vector<EventHandle> events_;
+
+  trace::Counter* c_crashes_;
+  trace::Counter* c_reboots_;
+  trace::Counter* c_dropped_;
+  trace::Counter* c_delayed_;
+};
+
+}  // namespace sprite::sim

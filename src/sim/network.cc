@@ -39,9 +39,15 @@ void Network::send(HostId src, HostId dst, std::int64_t bytes,
   if (!host_up(src)) return;  // a down host cannot transmit
   // A down destination still lets the sender occupy the wire; the message is
   // simply never received (the RPC layer's timeout handles it).
-  const Time deliver_at = reserve_medium(bytes);
+  Time deliver_at = reserve_medium(bytes);
+  Packet out{src, dst, bytes, std::move(payload)};
+  if (fault_hook_) {
+    const FaultDecision d = fault_hook_(out);
+    if (d.drop) return;  // transmitted but lost; the medium was still held
+    deliver_at += d.delay;
+  }
   sim_.at(deliver_at,
-          [this, pkt = Packet{src, dst, bytes, std::move(payload)}]() {
+          [this, pkt = std::move(out)]() {
             auto& slot = hosts_[static_cast<std::size_t>(pkt.dst)];
             if (slot.up && slot.handler) slot.handler(pkt);
           });

@@ -29,9 +29,18 @@ struct Packet {
   std::any payload;
 };
 
+// Verdict of the fault hook for one message. A dropped message still
+// occupies the medium (the sender transmitted; the bits were lost), so
+// timing downstream of a drop stays deterministic.
+struct FaultDecision {
+  bool drop = false;
+  Time delay;  // extra delivery latency (zero = none)
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Packet&)>;
+  using FaultHook = std::function<FaultDecision(const Packet&)>;
 
   Network(Simulator& sim, const Costs& costs);
 
@@ -50,6 +59,11 @@ class Network {
 
   // One transmission delivered to every up host except the sender.
   void multicast(HostId src, std::int64_t bytes, std::any payload);
+
+  // Fault injection (sim/fault.h): consulted for every unicast send while
+  // installed. No hook means zero behavioural difference — not even an
+  // extra branch in the delivery path's timing.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   // ---- Statistics ----
   std::int64_t messages_sent() const { return messages_; }
@@ -70,6 +84,7 @@ class Network {
     bool up = true;
   };
   std::vector<HostSlot> hosts_;
+  FaultHook fault_hook_;
   Time medium_free_at_;
   std::int64_t messages_ = 0;
   std::int64_t bytes_ = 0;

@@ -141,6 +141,10 @@ class VmManager {
   void set_remote_pager(const SpacePtr& space, RemotePager pager);
   void clear_remote_pager(std::int64_t asid);
 
+  // Crash support: address spaces die with their PCBs (proc/table.cc owns
+  // those); the manager's only volatile state is the pager table.
+  void crash_reset() { remote_pagers_.clear(); }
+
   // Closes paging streams and unlinks this space's swap files (process exit
   // on the host where it lives).
   void destroy_space(SpacePtr space, StatusCb cb);
