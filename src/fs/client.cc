@@ -1121,6 +1121,11 @@ void FsClient::peer_crashed(HostId peer) {
   }
 }
 
+void FsClient::collect_peer_interest(std::vector<sim::HostId>& out) const {
+  for (const auto& [id, v] : pipe_parked_)
+    if (!v.empty()) out.push_back(id.server);
+}
+
 std::size_t FsClient::parked_pipe_retries() const {
   std::size_t n = 0;
   for (const auto& [id, v] : pipe_parked_) n += v.size();

@@ -153,6 +153,9 @@ class FsClient {
   // A peer crashed. Parked pipe retries against its (now vanished) pipes
   // are re-issued so the callers get an error instead of hanging forever.
   void peer_crashed(sim::HostId peer);
+  // Peers whose death this host must detect (host-monitor interest): the
+  // servers whose pipes hold parked retries here.
+  void collect_peer_interest(std::vector<sim::HostId>& out) const;
   // Number of parked pipe retry closures (starvation diagnosis).
   std::size_t parked_pipe_retries() const;
 

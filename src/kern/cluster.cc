@@ -14,6 +14,9 @@ Host::Host(Cluster& cluster, sim::HostId id, bool is_file_server)
   cpu_->start_load_sampling();
   rpc_ = std::make_unique<rpc::RpcNode>(cluster.sim(), cluster.net(), *cpu_,
                                         id, costs);
+  monitor_ = std::make_unique<recov::HostMonitor>(cluster.sim(), *rpc_, costs);
+  monitor_->register_services();
+  rpc_->set_liveness(monitor_.get());
   fs_client_ = std::make_unique<fs::FsClient>(cluster.sim(), *cpu_, *rpc_,
                                               costs);
   fs_client_->register_services();
@@ -32,6 +35,17 @@ Host::Host(Cluster& cluster, sim::HostId id, bool is_file_server)
                                                 costs);
     fs_server_->register_services();
   }
+
+  // Failure detection: the monitor's verdicts drive peer_crashed, and the
+  // kernel subsystems tell it which peers currently matter.
+  monitor_->add_peer_down_observer(
+      [this](sim::HostId peer) { peer_crashed(peer); });
+  monitor_->add_interest_provider([this](std::vector<sim::HostId>& out) {
+    procs_->collect_peer_interest(out);
+    mig_->collect_peer_interest(out);
+    fs_client_->collect_peer_interest(out);
+  });
+  monitor_->start();
 }
 
 Host::~Host() = default;
@@ -42,8 +56,10 @@ void Host::note_user_input() {
 }
 
 void Host::crash_reset() {
+  up_ = false;
   // Order: consumers before providers, so nothing re-registers state in a
   // subsystem that is about to be wiped.
+  monitor_->crash_reset();
   procs_->crash_reset();
   mig_->crash_reset();
   fs_client_->crash_reset();
@@ -55,7 +71,16 @@ void Host::crash_reset() {
   input_observer_ = nullptr;  // re-wired by the facility on reboot
 }
 
+void Host::boot() {
+  up_ = true;
+  monitor_->start();
+}
+
 void Host::peer_crashed(sim::HostId peer) {
+  // Every peer-death notification must be a monitor verdict — nothing else
+  // (not the simulator, not a test) may claim a peer died.
+  SPRITE_CHECK_MSG(monitor_->notifying(),
+                   "peer_crashed outside a host-monitor notification");
   procs_->peer_crashed(peer);
   mig_->peer_crashed(peer);
   fs_client_->peer_crashed(peer);
@@ -140,18 +165,10 @@ void Cluster::crash_host(sim::HostId h) {
   host(h).crash_reset();
   sim_.trace().counter("kern.host.crashes", h).inc();
   if (sim_.trace().tracing()) sim_.trace().instant("kern", "crash", h);
-  // Survivors learn of the crash via a zero-delay event: detection is
-  // effectively immediate (Sprite's RPC layer notices dead peers fast) but
-  // never reentrant into the code that triggered the crash.
-  for (const auto& peer : hosts_) {
-    const sim::HostId pid = peer->id();
-    if (pid == h) continue;
-    sim_.after(sim::Time::zero(), [this, pid, h] {
-      // The crash happened even if h reboots later this instant; only a
-      // peer that itself crashed meanwhile has nothing left to reap.
-      if (!host_crashed(pid)) host(pid).peer_crashed(h);
-    });
-  }
+  // Survivors are NOT told. Each one's host monitor discovers the death
+  // in-protocol: timed-out calls raise suspicion, echo probes go
+  // unanswered, and either the silence ages into a down verdict or the
+  // rebooted host's first message carries a new epoch.
   for (const auto& fn : crash_observers_) fn(h);
 }
 
@@ -159,6 +176,7 @@ void Cluster::reboot_host(sim::HostId h) {
   SPRITE_CHECK_MSG(host_crashed(h), "reboot_host on a host that is up");
   crashed_.erase(h);
   net_.set_host_up(h, true);
+  host(h).boot();
   LOG_INFO("kern", "host%d rebooted", h);
   sim_.trace().counter("kern.host.reboots", h).inc();
   if (sim_.trace().tracing()) sim_.trace().instant("kern", "reboot", h);
@@ -181,9 +199,22 @@ void Cluster::run_until_done(const std::function<bool()>& done) {
       for (const auto& pc : hp->rpc().pending_calls())
         LOG_ERROR("kern",
                   "host%d: pending rpc call#%llu -> host%d %s op=%d "
-                  "(attempt %d)",
+                  "(attempt %d%s)",
                   h, static_cast<unsigned long long>(pc.call_id), pc.dst,
-                  rpc::service_name(pc.service), pc.op, pc.attempts);
+                  rpc::service_name(pc.service), pc.op, pc.attempts,
+                  pc.parked ? ", parked" : "");
+      for (const auto& pi : hp->monitor().table()) {
+        if (pi.state == recov::PeerState::kUp && !pi.echo_inflight) continue;
+        LOG_ERROR("kern",
+                  "host%d: monitor peer host%d %s last-heard=%.3fms "
+                  "suspect-for=%.3fms%s",
+                  h, pi.peer, recov::peer_state_name(pi.state),
+                  pi.last_heard.ms(),
+                  pi.state == recov::PeerState::kSuspect
+                      ? (sim_.now() - pi.suspect_since).ms()
+                      : 0.0,
+                  pi.echo_inflight ? " (echo in flight)" : "");
+      }
       for (const auto& pcb : hp->procs().local_processes())
         if (pcb->state != proc::ProcState::kRunnable ||
             pcb->migrate_syscall_pending)

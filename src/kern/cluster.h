@@ -19,6 +19,7 @@
 #include "fs/pdev.h"
 #include "fs/server.h"
 #include "proc/program.h"
+#include "recov/monitor.h"
 #include "rpc/rpc.h"
 #include "sim/costs.h"
 #include "sim/cpu.h"
@@ -54,6 +55,7 @@ class Host {
   Cluster& cluster() { return cluster_; }
   sim::Cpu& cpu() { return *cpu_; }
   rpc::RpcNode& rpc() { return *rpc_; }
+  recov::HostMonitor& monitor() { return *monitor_; }
   fs::FsClient& fs() { return *fs_client_; }
   fs::FsServer* fs_server() { return fs_server_.get(); }
   fs::PdevRegistry& pdev() { return *pdev_; }
@@ -78,15 +80,24 @@ class Host {
   // teardown makes those callbacks find-nothing no-ops), which also models
   // a reboot reusing the same kernel text.
   void crash_reset();
-  // Informs this (surviving) host that `peer` crashed: reap what depends
-  // on it and fail what waits for it.
+  // Restarts boot-time activity (the host monitor's probe tick) after a
+  // reboot. Called by Cluster::reboot_host before the reboot observers.
+  void boot();
+  // Whether this kernel itself is running — its own knowledge, not a
+  // liveness query about a peer (cleared by crash_reset, set by boot).
+  bool up() const { return up_; }
+  // Reaps state that depended on `peer`, which the *host monitor* has
+  // declared down or rebooted. Never called by the simulator or by tests
+  // directly: the monitor is the only legitimate origin (CHECK-enforced).
   void peer_crashed(sim::HostId peer);
 
  private:
   Cluster& cluster_;
   sim::HostId id_;
+  bool up_ = true;
   std::unique_ptr<sim::Cpu> cpu_;
   std::unique_ptr<rpc::RpcNode> rpc_;
+  std::unique_ptr<recov::HostMonitor> monitor_;
   std::unique_ptr<fs::FsClient> fs_client_;
   std::unique_ptr<fs::FsServer> fs_server_;
   std::unique_ptr<fs::PdevRegistry> pdev_;
@@ -134,14 +145,17 @@ class Cluster {
   // ---- Crash / reboot semantics (thesis failure model) ----
   // Crashing a host drops it off the network and destroys all kernel soft
   // state: local processes die, the FS client cache is lost, pending RPCs
-  // are abandoned, and the host's reboot epoch is bumped. Surviving hosts
-  // learn of the crash via a zero-delay event (Sprite peers detect a dead
-  // host promptly through the RPC layer) and reap their dependent state.
+  // are abandoned, and the host's reboot epoch is bumped. Survivors are NOT
+  // told: each host's monitor (src/recov/) must discover the death from RPC
+  // timeouts, failed echo probes, or the new epoch after a reboot.
   void crash_host(sim::HostId h);
   // Brings a crashed host back with empty tables; peers see the new epoch
   // on its first message. Reboot observers re-establish boot-time services
   // (e.g. the load-sharing daemon).
   void reboot_host(sim::HostId h);
+  // Simulator ground truth, for the fault layer and test assertions ONLY.
+  // Kernel subsystems must consult their host's monitor instead (a test
+  // greps the tree to keep it that way).
   bool host_crashed(sim::HostId h) const { return crashed_.count(h) != 0; }
 
   void add_crash_observer(std::function<void(sim::HostId)> fn) {

@@ -48,13 +48,20 @@ void MigdDaemon::restart() {
   revocations_.clear();
 }
 
-void MigdDaemon::host_crashed(sim::HostId h) {
+void MigdDaemon::peer_crashed(sim::HostId h) {
   table_.erase(h);
   for (auto& [w, info] : table_)
     if (info.assigned_to == h) info.assigned_to = sim::kInvalidHost;
   grants_by_requester_.erase(h);
   last_request_.erase(h);
   revocations_.erase(h);
+}
+
+void MigdDaemon::collect_peer_interest(std::vector<sim::HostId>& out) const {
+  for (const auto& [w, n] : grants_by_requester_)
+    if (n > 0) out.push_back(w);
+  for (const auto& [w, info] : table_)
+    if (info.assigned_to != sim::kInvalidHost) out.push_back(w);
 }
 
 bool MigdDaemon::fresh(const HostInfo& info, Time now) const {

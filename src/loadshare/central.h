@@ -53,10 +53,13 @@ class MigdDaemon {
   // double-granted even though the assignment table was lost.
   void restart();
 
-  // Another host crashed (Sprite's recovery module told migd): drop its
+  // Another host crashed (migd's host monitor said so): drop its
   // availability entry and free every host it held as a requester, so
   // grants to a dead requester do not pin idle hosts forever.
-  void host_crashed(sim::HostId h);
+  void peer_crashed(sim::HostId h);
+  // Hosts whose death migd must detect (host-monitor interest): requesters
+  // currently holding grants, and the hosts assigned to them.
+  void collect_peer_interest(std::vector<sim::HostId>& out) const;
 
   struct Stats {
     std::int64_t announcements = 0;

@@ -96,17 +96,37 @@ Facility::Facility(kern::Cluster& cluster, Arch arch)
     }
   }
 
+  // Survivors learn of peer deaths from their own host monitors, not from
+  // the simulator: each workstation's verdicts clear ghost reservations and
+  // stale gossip, and migd's verdicts free grants held by dead requesters.
+  for (HostId w : workstations) {
+    LoadShareNode* node_raw = nodes_.at(w).get();
+    cluster_.host(w).monitor().add_peer_down_observer(
+        [node_raw](HostId peer) { node_raw->peer_crashed(peer); });
+    cluster_.host(w).monitor().add_interest_provider(
+        [node_raw](std::vector<HostId>& out) {
+          if (node_raw->reserved()) out.push_back(node_raw->reserved_by());
+        });
+  }
+  if (daemon_) {
+    MigdDaemon* daemon_raw = daemon_.get();
+    cluster_.host(daemon_host_).monitor().add_peer_down_observer(
+        [daemon_raw](HostId peer) { daemon_raw->peer_crashed(peer); });
+    cluster_.host(daemon_host_).monitor().add_interest_provider(
+        [daemon_raw](std::vector<HostId>& out) {
+          daemon_raw->collect_peer_interest(out);
+        });
+  }
+
   cluster_.add_crash_observer([this](HostId h) { on_crash(h); });
   cluster_.add_reboot_observer([this](HostId h) { on_reboot(h); });
 }
 
 void Facility::on_crash(HostId h) {
-  for (auto& [w, node] : nodes_) {
-    if (w == h)
-      node->crash_reset();
-    else
-      node->peer_crashed(h);
-  }
+  // Only the crashed host's own user-level state is torn down here (it died
+  // with the kernel). Survivors are NOT told — their monitors must discover
+  // the death in-protocol.
+  if (auto it = nodes_.find(h); it != nodes_.end()) it->second->crash_reset();
   if (auto it = selectors_.find(h); it != selectors_.end())
     it->second->reset();
   if (auto it = announcers_.find(h); it != announcers_.end())
@@ -117,8 +137,6 @@ void Facility::on_crash(HostId h) {
     // announcements after the reinstall in on_reboot(); meanwhile
     // requesters' pdev calls fail and they retry (Sprite §6.3.2).
     daemon_->restart();
-  } else if (daemon_) {
-    daemon_->host_crashed(h);
   }
 }
 

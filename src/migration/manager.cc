@@ -495,7 +495,7 @@ void MigrationManager::send_transfer(std::uint64_t token,
               notify_stage(og.rec.pid, MigStage::kResume);
               // An observer may have crashed this very host; the completion
               // callback belonged to the now-dead kernel.
-              if (host_.cluster().host_crashed(self_)) return;
+              if (!host_.up()) return;
               og.cb(Status::ok());
             });
       });
@@ -513,9 +513,10 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
                {{"to", std::to_string(og.target)},
                 {"why", why.to_string()}});
 
-  // Tell the target to drop any pending slot (pointless if it crashed —
-  // its pending_in_ died with it).
-  if (!host_.cluster().host_crashed(og.target)) {
+  // Tell the target to drop any pending slot. If the target is dead the
+  // RPC layer fails this quickly (a down peer gets one doubtful attempt);
+  // the result is ignored either way.
+  {
     auto abort = std::make_shared<AbortReq>();
     abort->pid = og.pcb->pid;
     host_.rpc().call(og.target, ServiceId::kMigration,
@@ -530,6 +531,25 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
   if (pcb->program == nullptr && og.body && og.body->box &&
       og.body->box->program) {
     pcb->program = std::move(og.body->box->program);
+  }
+  if (pcb->program == nullptr && og.body && og.body->box) {
+    // The image went into the transfer body and never came back: the target
+    // consumed it and the failure we saw was a timeout or a down verdict,
+    // not a definitive rejection (a rejecting target restores the image).
+    // Exactly one incarnation may run, and it is the target's now — drop
+    // the frozen local copy. If the target really died with it, the home
+    // machine's monitor reaps the process through the home record.
+    if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+      tr.instant("mig", "image departed", self_,
+                 static_cast<std::int64_t>(pcb->pid),
+                 {{"to", std::to_string(og.target)}});
+    if (pcb->space) {
+      residual_.erase(pcb->space->asid());
+      residual_owner_.erase(pcb->space->asid());
+    }
+    host_.procs().remove(pcb->pid);
+    og.cb(why);
+    return;
   }
   const bool was_frozen = pcb->state == proc::ProcState::kFrozen;
   auto finish = [this, pcb, was_frozen,
@@ -619,7 +639,7 @@ void MigrationManager::note_process_reaped(Pid pid) {
       tr.instant("mig", "migrate aborted: process reaped", self_,
                  static_cast<std::int64_t>(pid),
                  {{"to", std::to_string(og.target)}});
-    if (!host_.cluster().host_crashed(og.target)) {
+    {
       auto abort = std::make_shared<AbortReq>();
       abort->pid = pid;
       host_.rpc().call(og.target, ServiceId::kMigration,
@@ -669,6 +689,14 @@ void MigrationManager::peer_crashed(HostId peer) {
                  static_cast<std::int64_t>(pid));
     host_.procs().deliver_signal(pid, 9);
   }
+}
+
+void MigrationManager::collect_peer_interest(
+    std::vector<sim::HostId>& out) const {
+  for (const auto& [token, og] : outgoing_) out.push_back(og.target);
+  for (const auto& [pid, src] : pending_in_) out.push_back(src);
+  for (const auto& [asid, owner] : residual_owner_) out.push_back(owner);
+  for (const auto& [pid, src] : cor_sources_) out.push_back(src);
 }
 
 void MigrationManager::fetch_remote_chunks(HostId source, std::int64_t asid,
@@ -790,7 +818,12 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
   // (balancing the server-side attribution this host just gained) and reply
   // with the error, so the source rolls back and thaws promptly instead of
   // waiting out the RPC timeout. The half-built PCB dies here.
-  auto reject = [this, pcb, respond_sp](Status why) {
+  auto reject = [this, pcb, respond_sp, box = req.box](Status why) {
+    // The transfer body is shared with the source (the simulated wire does
+    // not serialize); put the program image back so the source's rollback
+    // can thaw the process. A definitive rejection means this host never
+    // ran it.
+    if (box && pcb->program) box->program = std::move(pcb->program);
     std::vector<fs::StreamPtr> to_close;
     for (auto& [fd, s] : pcb->fds)
       if (--s->local_refs == 0) to_close.push_back(s);

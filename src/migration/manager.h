@@ -155,6 +155,9 @@ class MigrationManager : public proc::MigratorIface {
   // and local processes that depend on it for copy-on-reference pages are
   // killed (the residual-dependency cost the thesis warns about).
   void peer_crashed(sim::HostId peer);
+  // Peers whose death this host must detect (host-monitor interest):
+  // migration counterparts, copy-on-reference sources, residual owners.
+  void collect_peer_interest(std::vector<sim::HostId>& out) const;
 
   // ---- Statistics (registry-backed; the struct is a refreshed view) ----
   struct Stats {

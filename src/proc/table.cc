@@ -178,6 +178,12 @@ void ProcTable::continue_process(const PcbPtr& pcb) {
   }
 
   pcb->state = ProcState::kRunnable;
+  if (pcb->program == nullptr) {
+    LOG_ERROR("proc", "host%d pid=%lu exe=%s home=%d current=%d",
+               static_cast<int>(self_), static_cast<unsigned long>(pcb->pid),
+               pcb->exe_path.c_str(), static_cast<int>(pcb->home),
+               static_cast<int>(pcb->current));
+  }
   SPRITE_CHECK_MSG(pcb->program != nullptr, "runnable process has no image");
   Action action = pcb->program->next(pcb->view);
   pcb->view.clear_result();
@@ -1050,6 +1056,13 @@ void ProcTable::peer_crashed(HostId peer) {
   for (auto& [pid, rec] : home_records_)
     if (rec.alive && rec.current == peer) died.push_back(pid);
   for (Pid pid : died) home_exit(pid, kHostCrashExitStatus);
+}
+
+void ProcTable::collect_peer_interest(std::vector<sim::HostId>& out) const {
+  for (const auto& [pid, p] : procs_)
+    if (p->home != self_) out.push_back(p->home);
+  for (const auto& [pid, rec] : home_records_)
+    if (rec.alive && rec.current != self_) out.push_back(rec.current);
 }
 
 void ProcTable::reap_on_peer_crash(const PcbPtr& pcb) {

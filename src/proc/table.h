@@ -123,6 +123,10 @@ class ProcTable {
   // processes that were executing on the dead host are marked exited with
   // kHostCrashExitStatus, which unblocks waiters and fires exit observers.
   void peer_crashed(sim::HostId peer);
+  // Peers whose death this host must detect (host-monitor interest): the
+  // home machines of foreign processes running here, and the hosts where
+  // processes homed here currently execute.
+  void collect_peer_interest(std::vector<sim::HostId>& out) const;
 
   // Delivers a signal to a process resident on this host (re-routed via the
   // home machine if it moved). Public so the migration module can kill

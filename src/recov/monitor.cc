@@ -1,0 +1,245 @@
+#include "recov/monitor.h"
+
+#include <string>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::recov {
+
+using sim::HostId;
+using sim::Time;
+
+const char* peer_state_name(PeerState s) {
+  switch (s) {
+    case PeerState::kUp: return "up";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDown: return "down";
+  }
+  return "?";
+}
+
+HostMonitor::HostMonitor(sim::Simulator& sim, rpc::RpcNode& rpc,
+                         const sim::Costs& costs)
+    : sim_(sim), rpc_(rpc), costs_(costs), self_(rpc.host()) {
+  trace::Registry& tr = sim_.trace();
+  c_suspects_ = &tr.counter("recov.peer.suspect", self_);
+  c_downs_ = &tr.counter("recov.peer.down", self_);
+  c_false_suspects_ = &tr.counter("recov.suspect.false", self_);
+  c_reboots_ = &tr.counter("recov.peer.rebooted", self_);
+  c_reintegrated_ = &tr.counter("recov.peer.reintegrated", self_);
+  c_echoes_ = &tr.counter("recov.echo.sent", self_);
+}
+
+void HostMonitor::register_services() {
+  rpc_.register_service(
+      rpc::ServiceId::kRecov,
+      [](HostId, const rpc::Request&, std::function<void(rpc::Reply)> respond) {
+        respond(rpc::Reply{util::Status::ok(), nullptr});
+      });
+}
+
+void HostMonitor::start() {
+  if (ticking_) return;
+  ticking_ = true;
+  arm_tick();
+}
+
+void HostMonitor::crash_reset() {
+  tick_ev_.cancel();
+  ticking_ = false;
+  peers_.clear();
+  notifying_ = 0;
+}
+
+void HostMonitor::add_peer_down_observer(Observer fn) {
+  down_observers_.push_back(std::move(fn));
+}
+void HostMonitor::add_peer_rebooted_observer(Observer fn) {
+  rebooted_observers_.push_back(std::move(fn));
+}
+void HostMonitor::add_peer_reintegrated_observer(Observer fn) {
+  reintegrated_observers_.push_back(std::move(fn));
+}
+void HostMonitor::add_interest_provider(InterestProvider fn) {
+  providers_.push_back(std::move(fn));
+}
+
+rpc::PeerLiveness::State HostMonitor::state(HostId peer) const {
+  switch (peer_state(peer)) {
+    case PeerState::kUp: return State::kUp;
+    case PeerState::kSuspect: return State::kSuspect;
+    case PeerState::kDown: return State::kDown;
+  }
+  return State::kUp;
+}
+
+PeerState HostMonitor::peer_state(HostId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? PeerState::kUp : it->second.st;
+}
+
+void HostMonitor::fire_down(HostId peer) {
+  ++notifying_;
+  for (const Observer& fn : down_observers_) fn(peer);
+  --notifying_;
+}
+
+void HostMonitor::note_alive(HostId peer, std::uint32_t epoch) {
+  if (peer == self_) return;
+  Peer& p = peers_[peer];
+  p.last_heard = sim_.now();
+  const bool jump = p.epoch != 0 && epoch > p.epoch;
+  p.epoch = epoch;
+  if (jump) {
+    // The peer rebooted. If it was never declared down, its old incarnation
+    // died undetected: run the down-recovery path first so dependents are
+    // reaped exactly once, then announce the new incarnation.
+    const bool already_reaped = p.st == PeerState::kDown;
+    p.st = PeerState::kUp;
+    p.suspect_since = Time::zero();
+    c_reboots_->inc();
+    if (trace::Registry& tr = sim_.trace(); tr.tracing())
+      tr.instant("recov", "peer_rebooted", self_, -1,
+                 {{"peer", std::to_string(peer)}});
+    if (!already_reaped) fire_down(peer);
+    for (const Observer& fn : rebooted_observers_) fn(peer);
+    // Parked calls restart against the new incarnation (which re-executes
+    // them — the documented retry-across-reboot semantics).
+    rpc_.resume_calls_to(peer);
+    return;
+  }
+  switch (p.st) {
+    case PeerState::kUp:
+      break;
+    case PeerState::kSuspect:
+      p.st = PeerState::kUp;
+      p.suspect_since = Time::zero();
+      c_false_suspects_->inc();
+      if (trace::Registry& tr = sim_.trace(); tr.tracing())
+        tr.instant("recov", "suspicion_cleared", self_, -1,
+                   {{"peer", std::to_string(peer)}});
+      rpc_.resume_calls_to(peer);
+      break;
+    case PeerState::kDown:
+      // Same incarnation after a down verdict: the peer was partitioned,
+      // not dead. Reintegrate — resume what still waits, revoke nothing.
+      p.st = PeerState::kUp;
+      p.suspect_since = Time::zero();
+      c_reintegrated_->inc();
+      LOG_INFO("recov", "host%d reintegrated peer host%d (same epoch %u)",
+               self_, peer, epoch);
+      if (trace::Registry& tr = sim_.trace(); tr.tracing())
+        tr.instant("recov", "peer_reintegrated", self_, -1,
+                   {{"peer", std::to_string(peer)}});
+      for (const Observer& fn : reintegrated_observers_) fn(peer);
+      rpc_.resume_calls_to(peer);
+      break;
+  }
+}
+
+void HostMonitor::note_unreachable(HostId peer) {
+  if (peer == self_) return;
+  Peer& p = peers_[peer];
+  switch (p.st) {
+    case PeerState::kUp:
+      p.st = PeerState::kSuspect;
+      p.suspect_since = sim_.now();
+      c_suspects_->inc();
+      LOG_INFO("recov", "host%d suspects host%d", self_, peer);
+      if (trace::Registry& tr = sim_.trace(); tr.tracing())
+        tr.instant("recov", "peer_suspect", self_, -1,
+                   {{"peer", std::to_string(peer)}});
+      break;
+    case PeerState::kSuspect:
+      if (sim_.now() - p.suspect_since >= costs_.recov_down_after)
+        declare_down(peer);
+      break;
+    case PeerState::kDown:
+      break;
+  }
+}
+
+void HostMonitor::declare_down(HostId peer) {
+  Peer& p = peers_[peer];
+  p.st = PeerState::kDown;
+  c_downs_->inc();
+  LOG_INFO("recov", "host%d declares host%d down", self_, peer);
+  if (trace::Registry& tr = sim_.trace(); tr.tracing())
+    tr.instant("recov", "peer_down", self_, -1,
+               {{"peer", std::to_string(peer)}});
+  // Stalled calls fail first (their callbacks see the verdict), then the
+  // kernel-wide reap runs.
+  rpc_.fail_calls_to(peer);
+  fire_down(peer);
+}
+
+std::set<HostId> HostMonitor::interests() const {
+  std::set<HostId> out;
+  std::vector<HostId> scratch;
+  for (const InterestProvider& fn : providers_) fn(scratch);
+  // Pending RPC work is always of interest; the monitor's own probes are
+  // not (they would make interest self-sustaining forever).
+  for (const auto& pc : rpc_.pending_calls())
+    if (!pc.probe) scratch.push_back(pc.dst);
+  for (HostId h : scratch)
+    if (h != self_ && h != sim::kInvalidHost) out.insert(h);
+  return out;
+}
+
+void HostMonitor::tick() {
+  const Time now = sim_.now();
+  std::set<HostId> want = interests();
+  // Pursue open suspicions to a verdict even if the interest that raised
+  // them has since been reaped.
+  for (const auto& [h, p] : peers_)
+    if (p.st == PeerState::kSuspect) want.insert(h);
+  for (HostId h : want) {
+    Peer& p = peers_[h];
+    if (p.echo_inflight) continue;
+    if (p.st == PeerState::kDown) continue;  // re-detection is organic
+    if (p.st == PeerState::kUp && p.epoch != 0 &&
+        now - p.last_heard < costs_.recov_echo_interval)
+      continue;  // heard from recently: no probe needed
+    send_echo(h);
+  }
+}
+
+void HostMonitor::arm_tick() {
+  const Time next = sim_.now() + costs_.recov_echo_interval;
+  if (next > sim_.horizon()) {
+    ticking_ = false;
+    return;
+  }
+  tick_ev_ = sim_.at(next, [this] {
+    tick();
+    arm_tick();
+  });
+}
+
+void HostMonitor::send_echo(HostId peer) {
+  Peer& p = peers_[peer];
+  p.echo_inflight = true;
+  c_echoes_->inc();
+  rpc_.call(peer, rpc::ServiceId::kRecov, 0, nullptr,
+            [this, peer](util::Result<rpc::Reply> r) {
+              auto it = peers_.find(peer);
+              if (it == peers_.end()) return;  // crash_reset meanwhile
+              it->second.echo_inflight = false;
+              // A reply already fed note_alive through the RPC layer; only
+              // the failure is new evidence.
+              if (!r.is_ok()) note_unreachable(peer);
+            },
+            rpc::CallOpts{.max_retries = 0, .no_park = true, .probe = true});
+}
+
+std::vector<HostMonitor::PeerInfo> HostMonitor::table() const {
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [h, p] : peers_)
+    out.push_back(PeerInfo{h, p.st, p.epoch, p.last_heard, p.suspect_since,
+                           p.echo_inflight});
+  return out;
+}
+
+}  // namespace sprite::recov

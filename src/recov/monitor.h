@@ -1,0 +1,139 @@
+// HostMonitor: Sprite Recov-style in-protocol failure detection.
+//
+// Each kernel tracks every peer it *depends on* through observable evidence
+// only — RPC traffic received (every message carries the sender's boot
+// epoch), exhausted retransmissions, and periodic low-cost echo probes — and
+// runs a per-peer state machine:
+//
+//              evidence of life                 exhausted retries
+//        +------------------------ up <------------------------------+
+//        |                          |  note_unreachable              |
+//        v                          v                                |
+//   (no state)                   suspect --- silent for          same epoch:
+//                                   |        recov_down_after --> down
+//                                   |  same epoch: false suspicion     |
+//                                   +--> up (resume parked work)       |
+//                 epoch jump at any state: peer REBOOTED               |
+//                 (run down-recovery for the old incarnation,          |
+//                  then reboot observers, then mark up)                |
+//                 same epoch from down: peer REINTEGRATED -------------+
+//                 (partition healed: resume, un-revoke nothing)
+//
+// Probing is interest-driven, as in Sprite's Recov_RebootRegister: the
+// monitor only echoes peers some subsystem currently depends on (pending
+// RPCs, foreign processes' home machines, home records' remote locations,
+// residual copy-on-reference images, reservations, migd grants). A quiet
+// cluster sends no detection traffic at all.
+//
+// All peer_crashed-style notifications in the kernel originate here: the
+// simulator never tells survivors about a crash (kern::Host::peer_crashed
+// CHECKs that it is running inside a monitor notification).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "sim/costs.h"
+#include "sim/ids.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sprite::recov {
+
+enum class PeerState { kUp, kSuspect, kDown };
+const char* peer_state_name(PeerState s);
+
+class HostMonitor : public rpc::PeerLiveness {
+ public:
+  using Observer = std::function<void(sim::HostId)>;
+  // Appends the peers this subsystem currently depends on (duplicates fine).
+  using InterestProvider = std::function<void(std::vector<sim::HostId>&)>;
+
+  HostMonitor(sim::Simulator& sim, rpc::RpcNode& rpc, const sim::Costs& costs);
+
+  // Registers the kRecov echo responder.
+  void register_services();
+  // Begins the periodic probe tick (boot-time; call again after reboot).
+  void start();
+  // This host crashed: stop probing, forget every peer (the table was in
+  // volatile memory). Observer and provider registrations survive — they
+  // are boot configuration, like RPC service registrations.
+  void crash_reset();
+
+  // ---- rpc::PeerLiveness (evidence feed from the RPC layer) ----
+  void note_alive(sim::HostId peer, std::uint32_t epoch) override;
+  void note_unreachable(sim::HostId peer) override;
+  State state(sim::HostId peer) const override;
+
+  PeerState peer_state(sim::HostId peer) const;
+
+  // ---- Observers (fired from the state machine, never the simulator) ----
+  // Peer declared down, or an epoch jump proved the old incarnation died
+  // undetected: reap dependent state.
+  void add_peer_down_observer(Observer fn);
+  // Epoch jump: the peer is back as a new incarnation (fires after the down
+  // observers have reaped the old one).
+  void add_peer_rebooted_observer(Observer fn);
+  // A peer marked down reappeared with the *same* epoch: it was partitioned,
+  // not dead. In-flight work resumes; nothing was revoked on its side.
+  void add_peer_reintegrated_observer(Observer fn);
+
+  void add_interest_provider(InterestProvider fn);
+
+  // True while a peer-down observer cascade runs (see header comment).
+  bool notifying() const { return notifying_ != 0; }
+
+  // ---- Diagnostics (starvation dump, tests) ----
+  struct PeerInfo {
+    sim::HostId peer = sim::kInvalidHost;
+    PeerState state = PeerState::kUp;
+    std::uint32_t epoch = 0;
+    sim::Time last_heard;
+    sim::Time suspect_since;
+    bool echo_inflight = false;
+  };
+  std::vector<PeerInfo> table() const;
+
+ private:
+  struct Peer {
+    PeerState st = PeerState::kUp;
+    std::uint32_t epoch = 0;  // 0 = never heard from
+    sim::Time last_heard;
+    sim::Time suspect_since;
+    bool echo_inflight = false;
+  };
+
+  void tick();
+  void arm_tick();
+  void send_echo(sim::HostId peer);
+  void declare_down(sim::HostId peer);
+  void fire_down(sim::HostId peer);
+  std::set<sim::HostId> interests() const;
+
+  sim::Simulator& sim_;
+  rpc::RpcNode& rpc_;
+  const sim::Costs& costs_;
+  sim::HostId self_;
+
+  std::map<sim::HostId, Peer> peers_;
+  std::vector<Observer> down_observers_;
+  std::vector<Observer> rebooted_observers_;
+  std::vector<Observer> reintegrated_observers_;
+  std::vector<InterestProvider> providers_;
+  bool ticking_ = false;
+  sim::EventHandle tick_ev_;
+  int notifying_ = 0;
+
+  trace::Counter* c_suspects_;
+  trace::Counter* c_downs_;
+  trace::Counter* c_false_suspects_;
+  trace::Counter* c_reboots_;
+  trace::Counter* c_reintegrated_;
+  trace::Counter* c_echoes_;
+};
+
+}  // namespace sprite::recov

@@ -22,26 +22,36 @@ const char* service_name(ServiceId id) {
     case ServiceId::kMigration: return "migration";
     case ServiceId::kLoadShare: return "loadshare";
     case ServiceId::kPdev: return "pdev";
+    case ServiceId::kRecov: return "recov";
   }
   return "?";
 }
 
 RpcNode::RpcNode(sim::Simulator& sim, sim::Network& net, sim::Cpu& cpu,
                  HostId self, const sim::Costs& costs)
-    : sim_(sim), net_(net), cpu_(cpu), self_(self), costs_(costs) {
+    : sim_(sim), net_(net), cpu_(cpu), self_(self), costs_(costs),
+      rng_(sim.fork_rng()) {
   trace::Registry& tr = sim_.trace();
   c_started_ = &tr.counter("rpc.call.started", self_);
   c_retrans_ = &tr.counter("rpc.call.retransmitted", self_);
   c_timeouts_ = &tr.counter("rpc.call.timedout", self_);
   c_served_ = &tr.counter("rpc.request.served", self_);
   c_reincarnations_ = &tr.counter("rpc.peer.reincarnated", self_);
+  c_parked_ = &tr.counter("rpc.call.parked", self_);
+  c_unparked_ = &tr.counter("rpc.call.unparked", self_);
+  c_dedup_evicted_ = &tr.counter("rpc.dedup.evicted", self_);
+  g_dedup_size_ = &tr.gauge("rpc.dedup.size", self_);
+  h_backoff_us_ = &tr.histogram(
+      "rpc.call.backoff_us",
+      {1e3, 1e4, 1e5, 2.5e5, 5e5, 1e6, 2e6, 4e6, 8e6}, self_);
 }
 
 void RpcNode::crash_reset() {
   for (auto& [id, pc] : pending_) pc.timeout.cancel();
   pending_.clear();  // callbacks died with the host: never invoked
   served_.clear();
-  served_order_.clear();
+  dedup_lru_.clear();
+  g_dedup_size_->set(0.0);
   peer_epochs_.clear();  // knowledge of peers was in volatile memory too
   ++epoch_;
 }
@@ -50,27 +60,66 @@ void RpcNode::note_peer_epoch(HostId peer, std::uint32_t epoch) {
   auto [it, inserted] = peer_epochs_.emplace(peer, epoch);
   if (inserted || epoch <= it->second) {
     if (!inserted) it->second = std::max(it->second, epoch);
+    if (liveness_ != nullptr) liveness_->note_alive(peer, epoch);
     return;
   }
   it->second = epoch;
   // The peer rebooted: dedup slots from its previous incarnation can never
   // be legitimately retransmitted (call ids restart), so drop them.
   for (auto sit = served_.lower_bound({peer, 0});
-       sit != served_.end() && sit->first.first == peer;)
+       sit != served_.end() && sit->first.first == peer;) {
+    dedup_lru_.erase(sit->second.lru_it);
     sit = served_.erase(sit);
+  }
+  g_dedup_size_->set(static_cast<double>(served_.size()));
   c_reincarnations_->inc();
   if (trace::Registry& tr = sim_.trace(); tr.tracing())
     tr.instant("rpc", "peer_reincarnated", self_, -1,
                {{"peer", std::to_string(peer)}});
   if (reincarnation_observer_) reincarnation_observer_(peer);
+  // The monitor sees the same evidence: the epoch jump makes it run the
+  // down-recovery path for the old incarnation, then mark the peer up.
+  if (liveness_ != nullptr) liveness_->note_alive(peer, epoch);
+}
+
+void RpcNode::fail_calls_to(HostId peer) {
+  // Two passes: callbacks may start new calls (e.g. an abort RPC to the very
+  // host that was declared down), which must not be swept up mid-iteration.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, pc] : pending_)
+    if (pc.dst == peer && !pc.opts.probe) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    it->second.timeout.cancel();
+    c_timeouts_->inc();
+    auto cb = std::move(it->second.on_reply);
+    pending_.erase(it);
+    cb(util::Status(util::Err::kTimedOut, "peer declared down"));
+  }
+}
+
+void RpcNode::resume_calls_to(HostId peer) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, pc] : pending_)
+    if (pc.dst == peer && pc.parked) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.parked) continue;
+    it->second.parked = false;
+    it->second.attempts = 0;
+    it->second.backoff = costs_.rpc_timeout;
+    c_unparked_->inc();
+    transmit(id);
+  }
 }
 
 std::vector<RpcNode::PendingCallInfo> RpcNode::pending_calls() const {
   std::vector<PendingCallInfo> out;
   out.reserve(pending_.size());
   for (const auto& [id, pc] : pending_)
-    out.push_back(
-        PendingCallInfo{id, pc.dst, pc.req.service, pc.req.op, pc.attempts});
+    out.push_back(PendingCallInfo{id, pc.dst, pc.req.service, pc.req.op,
+                                  pc.attempts, pc.parked, pc.opts.probe});
   return out;
 }
 
@@ -101,6 +150,11 @@ void RpcNode::register_service(ServiceId id, Handler handler) {
 
 void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
                    ReplyCallback on_reply) {
+  call(dst, service, op, std::move(body), std::move(on_reply), CallOpts{});
+}
+
+void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
+                   ReplyCallback on_reply, CallOpts opts) {
   c_started_->inc();
 
   // Span covering the whole client-side call, local or remote, until the
@@ -136,11 +190,23 @@ void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
     return;
   }
 
+  // A peer the monitor already declared down gets one doubtful attempt, not
+  // a full retry budget: if it healed meanwhile the attempt succeeds (and
+  // reintegrates it); otherwise the caller learns quickly instead of
+  // stalling on a verdict that is already in.
+  if (liveness_ != nullptr && !opts.probe &&
+      liveness_->state(dst) == PeerLiveness::State::kDown) {
+    opts.max_retries = 0;
+    opts.no_park = true;
+  }
+
   const std::uint64_t id = next_call_id_++;
   PendingCall pc;
   pc.dst = dst;
   pc.req = Request{service, op, std::move(body)};
   pc.on_reply = std::move(on_reply);
+  pc.opts = opts;
+  pc.backoff = costs_.rpc_timeout;
   pending_.emplace(id, std::move(pc));
   transmit(id);
 }
@@ -163,24 +229,56 @@ void RpcNode::transmit(std::uint64_t call_id) {
 void RpcNode::arm_timeout(std::uint64_t call_id) {
   auto it = pending_.find(call_id);
   if (it == pending_.end()) return;
-  // Base timeout plus twice the request's own wire time, so bulk payloads on
-  // a contended medium are not spuriously retransmitted.
+  // Current backoff interval plus twice the request's own wire time, so bulk
+  // payloads on a contended medium are not spuriously retransmitted.
   const Time deadline =
-      costs_.rpc_timeout + costs_.wire_time(it->second.req.wire_bytes()) * 2.0;
+      it->second.backoff + costs_.wire_time(it->second.req.wire_bytes()) * 2.0;
   it->second.timeout = sim_.after(deadline, [this, call_id] {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;
-    if (it->second.attempts > costs_.rpc_max_retries) {
+    const int max_retries = it->second.opts.max_retries >= 0
+                                ? it->second.opts.max_retries
+                                : costs_.rpc_max_retries;
+    if (it->second.attempts > max_retries) {
+      const HostId dst = it->second.dst;
+      if (liveness_ != nullptr) liveness_->note_unreachable(dst);
+      // The verdict may have resolved this call reentrantly (a suspect aged
+      // to down fails every pending call to it); revalidate.
+      it = pending_.find(call_id);
+      if (it == pending_.end()) return;
+      if (liveness_ != nullptr && !it->second.opts.no_park &&
+          liveness_->state(dst) == PeerLiveness::State::kSuspect) {
+        // Stall, don't abort: the peer may be partitioned, not dead. The
+        // monitor either clears the suspicion (resume_calls_to restarts us)
+        // or declares the peer down (fail_calls_to aborts us).
+        it->second.parked = true;
+        c_parked_->inc();
+        if (trace::Registry& tr = sim_.trace(); tr.tracing())
+          tr.instant("rpc", "call_parked", self_, -1,
+                     {{"dst", std::to_string(dst)}});
+        return;
+      }
       c_timeouts_->inc();
       auto cb = std::move(it->second.on_reply);
       pending_.erase(it);
       cb(util::Status(util::Err::kTimedOut, "rpc retries exhausted"));
       return;
     }
+    // Decorrelated jitter: next interval uniform in [base, 3 * previous],
+    // capped. Drawn from this node's forked sim RNG stream, so a seed
+    // replays the exact same schedule.
+    const double base_us = static_cast<double>(costs_.rpc_timeout.us());
+    const double prev_us = static_cast<double>(it->second.backoff.us());
+    const double cap_us = static_cast<double>(costs_.rpc_backoff_cap.us());
+    const double next_us =
+        std::min(cap_us, rng_.uniform(base_us, 3.0 * prev_us));
+    it->second.backoff = Time::usec(static_cast<std::int64_t>(next_us));
+    h_backoff_us_->record(next_us);
     c_retrans_->inc();
     if (trace::Registry& tr = sim_.trace(); tr.tracing())
       tr.instant("rpc", "retransmit", self_, -1,
-                 {{"dst", std::to_string(it->second.dst)}});
+                 {{"dst", std::to_string(it->second.dst)},
+                  {"backoff_us", std::to_string(it->second.backoff.us())}});
     transmit(call_id);
   });
 }
@@ -224,6 +322,7 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
   const auto key = std::make_pair(src, wreq.call_id);
   auto slot_it = served_.find(key);
   if (slot_it != served_.end()) {
+    touch_dedup(slot_it->second);
     if (slot_it->second.completed) {
       // Duplicate of a completed call: replay the cached reply.
       WireReply w{wreq.call_id, epoch_, slot_it->second.cached};
@@ -234,26 +333,10 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     return;
   }
 
-  // Bound the dedup cache by pruning *completed* slots in insertion order.
-  // In-progress slots are never evicted: losing one would let a
-  // retransmission re-execute its handler, breaking at-most-once. (The old
-  // code erased served_.begin() — the lowest (host, call_id) key — which
-  // under load evicted live in-progress slots for low-numbered hosts while
-  // retaining stale completed ones.)
-  std::size_t scanned = served_order_.size();
-  while (served_.size() > 4096 && scanned-- > 0) {
-    const auto victim = served_order_.front();
-    served_order_.pop_front();
-    auto vit = served_.find(victim);
-    if (vit == served_.end()) continue;  // purged by an epoch jump
-    if (vit->second.completed) {
-      served_.erase(vit);
-    } else {
-      served_order_.push_back(victim);  // in-progress: keep, re-queue
-    }
-  }
-  served_.emplace(key, ServerSlot{});
-  served_order_.push_back(key);
+  auto [new_it, inserted] = served_.emplace(key, ServerSlot{});
+  SPRITE_CHECK(inserted);
+  new_it->second.lru_it = dedup_lru_.insert(dedup_lru_.end(), key);
+  prune_dedup();
   c_served_->inc();
 
   std::function<void(Reply)> respond = [this, src, call_id = wreq.call_id,
@@ -262,6 +345,7 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     if (it != served_.end()) {
       it->second.completed = true;
       it->second.cached = rep;
+      touch_dedup(it->second);
     }
     // Reply marshalling consumes server CPU, then the wire.
     cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
@@ -290,6 +374,29 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
     return;
   }
   svc_it->second(src, wreq.req, std::move(respond));
+}
+
+void RpcNode::touch_dedup(ServerSlot& slot) {
+  dedup_lru_.splice(dedup_lru_.end(), dedup_lru_, slot.lru_it);
+}
+
+void RpcNode::prune_dedup() {
+  // Evict least-recently-used *completed* slots past the cap; in-progress
+  // slots are skipped (their respond() will complete them soon enough).
+  const auto cap = static_cast<std::size_t>(costs_.rpc_dedup_cap);
+  auto it = dedup_lru_.begin();
+  while (served_.size() > cap && it != dedup_lru_.end()) {
+    auto sit = served_.find(*it);
+    SPRITE_CHECK(sit != served_.end());
+    if (!sit->second.completed) {
+      ++it;
+      continue;
+    }
+    it = dedup_lru_.erase(it);
+    served_.erase(sit);
+    c_dedup_evicted_->inc();
+  }
+  g_dedup_size_->set(static_cast<double>(served_.size()));
 }
 
 void RpcNode::handle_reply(HostId src, const WireReply& wrep) {

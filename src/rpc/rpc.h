@@ -14,8 +14,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <utility>
@@ -26,6 +26,7 @@
 #include "sim/ids.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace sprite::rpc {
@@ -56,8 +57,33 @@ enum class ServiceId : int {
   kMigration,    // migration protocol
   kLoadShare,    // host-selection protocols
   kPdev,         // pseudo-device request forwarding
+  kRecov,        // failure-detection echoes (src/recov/monitor.h)
 };
 const char* service_name(ServiceId id);
+
+// Liveness oracle, implemented by recov::HostMonitor. The RPC layer feeds it
+// evidence — every message received carries proof of life (and the sender's
+// boot epoch); every retry-exhausted call is proof of unreachability — and
+// consults it when retries run out: a call to a merely *suspect* peer parks
+// (stalls) until the monitor reaches a verdict, while a call to a *down*
+// peer fails. No RPC consumer sees simulator ground truth.
+class PeerLiveness {
+ public:
+  enum class State { kUp, kSuspect, kDown };
+  virtual ~PeerLiveness() = default;
+  virtual void note_alive(sim::HostId peer, std::uint32_t epoch) = 0;
+  virtual void note_unreachable(sim::HostId peer) = 0;
+  virtual State state(sim::HostId peer) const = 0;
+};
+
+// Per-call overrides, used by the host monitor's probes (which must never
+// stall on the very machinery they feed).
+struct CallOpts {
+  int max_retries = -1;  // < 0: use Costs::rpc_max_retries
+  bool no_park = false;  // on exhaustion fail even while the peer is suspect
+  // Liveness probe: transmit even to a peer already marked down, never park.
+  bool probe = false;
+};
 
 struct Request {
   ServiceId service{};
@@ -99,6 +125,8 @@ class RpcNode {
   // special-case local RPCs the same way).
   void call(sim::HostId dst, ServiceId service, int op, MessagePtr body,
             ReplyCallback on_reply);
+  void call(sim::HostId dst, ServiceId service, int op, MessagePtr body,
+            ReplyCallback on_reply, CallOpts opts);
 
   // One-way multicast: a single transmission delivered to every up host's
   // matching service handler. No reply, no retransmission (used by the
@@ -125,6 +153,18 @@ class RpcNode {
     reincarnation_observer_ = std::move(obs);
   }
 
+  // ---- failure detection (src/recov/monitor.h) ----
+  // Installs the liveness oracle. Without one (bare RpcNodes in unit tests)
+  // calls simply fail after their retry budget, as before.
+  void set_liveness(PeerLiveness* liveness) { liveness_ = liveness; }
+  // Monitor verdicts for stalled calls. `fail_calls_to` aborts every
+  // non-probe pending call to `peer` (it was declared down);
+  // `resume_calls_to` restarts parked calls with a fresh retry budget (the
+  // suspicion was false, or the peer rebooted and the new incarnation will
+  // re-execute them — the documented retry-across-reboot semantics).
+  void fail_calls_to(sim::HostId peer);
+  void resume_calls_to(sim::HostId peer);
+
   // ---- fault-injection filters (sim/fault.h) ----
   // Packet predicates for FaultPlan rules; defined here because the wire
   // framing is private to RpcNode. `op` / `dst` of -1 / kInvalidHost match
@@ -141,6 +181,8 @@ class RpcNode {
     ServiceId service{};
     int op = 0;
     int attempts = 0;
+    bool parked = false;  // stalled awaiting a monitor verdict
+    bool probe = false;   // a monitor echo, not real work
   };
   std::vector<PendingCallInfo> pending_calls() const;
 
@@ -168,6 +210,9 @@ class RpcNode {
     ReplyCallback on_reply;
     int attempts = 0;
     sim::EventHandle timeout;
+    CallOpts opts;
+    sim::Time backoff;    // current retransmission interval
+    bool parked = false;  // retries exhausted, peer suspect: stalled
   };
 
   void handle_request(sim::HostId src, const WireRequest& wreq);
@@ -193,15 +238,23 @@ class RpcNode {
 
   // At-most-once duplicate suppression: (client, call_id) -> cached reply.
   // In-progress entries hold no reply yet; retransmissions of those are
-  // dropped (the eventual reply answers them).
+  // dropped (the eventual reply answers them). Bounded at
+  // Costs::rpc_dedup_cap by LRU eviction of *completed* slots (a duplicate
+  // hit refreshes its slot); in-progress slots are never evicted — losing
+  // one would let a retransmission re-execute its handler.
+  using DedupKey = std::pair<sim::HostId, std::uint64_t>;
   struct ServerSlot {
     bool completed = false;
     Reply cached;
+    std::list<DedupKey>::iterator lru_it;
   };
-  std::map<std::pair<sim::HostId, std::uint64_t>, ServerSlot> served_;
-  // Insertion order of served_ keys, for completed-only FIFO pruning. May
-  // contain keys already purged by an epoch jump; pruning skips those.
-  std::deque<std::pair<sim::HostId, std::uint64_t>> served_order_;
+  void touch_dedup(ServerSlot& slot);
+  void prune_dedup();
+  std::map<DedupKey, ServerSlot> served_;
+  std::list<DedupKey> dedup_lru_;  // front = least recently used
+
+  PeerLiveness* liveness_ = nullptr;
+  util::Rng rng_;  // decorrelated-jitter draws (forked from the sim root)
 
   // Per-host counters in the simulator's trace registry (stable addresses,
   // cached once at construction).
@@ -210,6 +263,11 @@ class RpcNode {
   trace::Counter* c_timeouts_;
   trace::Counter* c_served_;
   trace::Counter* c_reincarnations_;
+  trace::Counter* c_parked_;
+  trace::Counter* c_unparked_;
+  trace::Counter* c_dedup_evicted_;
+  trace::Gauge* g_dedup_size_;
+  trace::LatencyHistogram* h_backoff_us_;
 };
 
 }  // namespace sprite::rpc

@@ -38,9 +38,25 @@ struct Costs {
   // ---- RPC ----
   // CPU consumed on each side per RPC message (marshalling, dispatch).
   Time rpc_cpu_per_msg = Time::usec(300);
-  // Client retransmission timeout and retry limit.
+  // Initial retransmission timeout and retry limit. Subsequent
+  // retransmission intervals use decorrelated jitter — uniform in
+  // [rpc_timeout, 3 * previous] capped at rpc_backoff_cap — so a cluster of
+  // clients hammering a silent server desynchronises instead of
+  // retransmitting in lockstep.
   Time rpc_timeout = Time::msec(500);
   int rpc_max_retries = 4;
+  Time rpc_backoff_cap = Time::sec(4);
+  // At-most-once dedup cache capacity per server (completed slots are
+  // evicted LRU beyond this; in-progress slots are never evicted).
+  std::int64_t rpc_dedup_cap = 4096;
+
+  // ---- Failure detection (src/recov/monitor.h) ----
+  // Period of the monitor tick: watched peers not heard from within one
+  // interval are sent a low-cost echo.
+  Time recov_echo_interval = Time::sec(2);
+  // A suspect peer still silent this long after suspicion began is declared
+  // down.
+  Time recov_down_after = Time::sec(6);
 
   // ---- File system ----
   std::int64_t block_size = 4096;

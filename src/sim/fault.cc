@@ -14,6 +14,8 @@ FaultPlan::FaultPlan(Simulator& sim, Network& net) : sim_(sim), net_(net) {
   c_reboots_ = &tr.counter("fault.reboot.injected");
   c_dropped_ = &tr.counter("fault.message.dropped");
   c_delayed_ = &tr.counter("fault.message.delayed");
+  c_links_cut_ = &tr.counter("fault.link.cut");
+  c_links_healed_ = &tr.counter("fault.link.healed");
 }
 
 FaultPlan::~FaultPlan() { disarm(); }
@@ -49,6 +51,21 @@ void FaultPlan::delay_message(Filter f, int nth, Time delay) {
   rules_.push_back(std::move(r));
 }
 
+void FaultPlan::cut_link(HostId src, HostId dst, Time from, Time until) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  links_.push_back(LinkEntry{src, dst, from, until});
+}
+
+void FaultPlan::partition(std::vector<HostId> a, std::vector<HostId> b,
+                          Time from, Time until) {
+  SPRITE_CHECK_MSG(!armed_, "FaultPlan script entries must precede arm()");
+  for (HostId ha : a)
+    for (HostId hb : b) {
+      links_.push_back(LinkEntry{ha, hb, from, until});
+      links_.push_back(LinkEntry{hb, ha, from, until});
+    }
+}
+
 void FaultPlan::arm(Hooks hooks) {
   SPRITE_CHECK_MSG(!armed_, "FaultPlan armed twice");
   armed_ = true;
@@ -75,6 +92,27 @@ void FaultPlan::arm(Hooks hooks) {
     }
   }
 
+  for (const LinkEntry& e : links_) {
+    events_.push_back(sim_.at(e.from, [this, e] {
+      c_links_cut_->inc();
+      auto& tr = sim_.trace();
+      if (tr.tracing())
+        tr.instant("fault", "link_cut", e.src, -1,
+                   {{"dst", std::to_string(e.dst)}});
+      net_.set_link_up(e.src, e.dst, false);
+    }));
+    if (e.until < Time::max()) {
+      events_.push_back(sim_.at(e.until, [this, e] {
+        c_links_healed_->inc();
+        auto& tr = sim_.trace();
+        if (tr.tracing())
+          tr.instant("fault", "link_healed", e.src, -1,
+                     {{"dst", std::to_string(e.dst)}});
+        net_.set_link_up(e.src, e.dst, true);
+      }));
+    }
+  }
+
   // Install the network hook only when message rules exist: a crash-only
   // (or empty) plan leaves the delivery path untouched.
   if (!rules_.empty())
@@ -86,6 +124,9 @@ void FaultPlan::disarm() {
   armed_ = false;
   for (EventHandle& e : events_) e.cancel();
   events_.clear();
+  // Heal anything the plan may have cut so a disarmed plan leaves the
+  // network whole (idempotent for links that never went down).
+  for (const LinkEntry& e : links_) net_.set_link_up(e.src, e.dst, true);
   if (!rules_.empty()) net_.set_fault_hook(nullptr);
 }
 

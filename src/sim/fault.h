@@ -51,6 +51,15 @@ class FaultPlan {
   void drop_message(Filter f, int nth = 1);
   // Delay the nth matching message by `delay` instead of dropping it.
   void delay_message(Filter f, int nth, Time delay);
+  // Symmetric partition: every link between side `a` and side `b` is cut at
+  // `from` and healed at `until` (pass Time::max() — the default — for a
+  // partition that never heals). Hosts on both sides stay alive; only their
+  // mutual traffic is lost.
+  void partition(std::vector<HostId> a, std::vector<HostId> b, Time from,
+                 Time until = Time::max());
+  // One-way link loss: messages src->dst vanish during [from, until);
+  // dst->src traffic still flows (the asymmetric case RPC must survive).
+  void cut_link(HostId src, HostId dst, Time from, Time until = Time::max());
 
   // Schedules the crash/reboot events and installs the network fault hook
   // (only when the plan contains message rules). Call at most once.
@@ -75,6 +84,12 @@ class FaultPlan {
     Time delay;
     bool fired = false;
   };
+  struct LinkEntry {
+    HostId src = kInvalidHost;
+    HostId dst = kInvalidHost;
+    Time from;
+    Time until;  // Time::max() = never heals
+  };
 
   FaultDecision on_packet(const Packet& pkt);
 
@@ -84,12 +99,15 @@ class FaultPlan {
   Hooks hooks_;
   std::vector<CrashEntry> crashes_;
   std::vector<MessageRule> rules_;
+  std::vector<LinkEntry> links_;
   std::vector<EventHandle> events_;
 
   trace::Counter* c_crashes_;
   trace::Counter* c_reboots_;
   trace::Counter* c_dropped_;
   trace::Counter* c_delayed_;
+  trace::Counter* c_links_cut_;
+  trace::Counter* c_links_healed_;
 };
 
 }  // namespace sprite::sim

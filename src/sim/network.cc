@@ -23,6 +23,19 @@ bool Network::host_up(HostId h) const {
   return hosts_[static_cast<std::size_t>(h)].up;
 }
 
+void Network::set_link_up(HostId src, HostId dst, bool up) {
+  SPRITE_CHECK(src >= 0 && static_cast<std::size_t>(src) < hosts_.size());
+  SPRITE_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < hosts_.size());
+  if (up)
+    cut_links_.erase({src, dst});
+  else
+    cut_links_.insert({src, dst});
+}
+
+bool Network::link_up(HostId src, HostId dst) const {
+  return cut_links_.empty() || cut_links_.count({src, dst}) == 0;
+}
+
 Time Network::reserve_medium(std::int64_t bytes) {
   const Time tx = costs_.wire_time(bytes);
   const Time start = std::max(sim_.now(), medium_free_at_);
@@ -40,6 +53,10 @@ void Network::send(HostId src, HostId dst, std::int64_t bytes,
   // A down destination still lets the sender occupy the wire; the message is
   // simply never received (the RPC layer's timeout handles it).
   Time deliver_at = reserve_medium(bytes);
+  // A cut link behaves like a down destination: the sender held the medium,
+  // the bits went nowhere. Checked after medium reservation so timing is
+  // identical whether the loss was a partition or a dead host.
+  if (!link_up(src, dst)) return;
   Packet out{src, dst, bytes, std::move(payload)};
   if (fault_hook_) {
     const FaultDecision d = fault_hook_(out);
@@ -59,7 +76,9 @@ void Network::multicast(HostId src, std::int64_t bytes, std::any payload) {
   sim_.at(deliver_at,
           [this, pkt = Packet{src, kInvalidHost, bytes, std::move(payload)}]() {
             for (std::size_t h = 0; h < hosts_.size(); ++h) {
-              if (static_cast<HostId>(h) == pkt.src) continue;
+              const HostId dst = static_cast<HostId>(h);
+              if (dst == pkt.src) continue;
+              if (!link_up(pkt.src, dst)) continue;
               auto& slot = hosts_[h];
               if (slot.up && slot.handler) slot.handler(pkt);
             }

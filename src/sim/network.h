@@ -11,6 +11,8 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/costs.h"
@@ -53,6 +55,15 @@ class Network {
   void set_host_up(HostId h, bool up);
   bool host_up(HostId h) const;
 
+  // Directed link control (partitions). A cut link src->dst loses every
+  // unicast after the sender has occupied the medium — exactly like a down
+  // destination, except both ends stay alive and neither can tell the
+  // difference from a crash without an epoch handshake. Multicasts are
+  // delivered only over up links. Links default to up and are independent
+  // per direction; cut both to model a symmetric partition.
+  void set_link_up(HostId src, HostId dst, bool up);
+  bool link_up(HostId src, HostId dst) const;
+
   // Sends `bytes` of payload from src to dst. Delivery time reflects medium
   // queuing + transmission + latency.
   void send(HostId src, HostId dst, std::int64_t bytes, std::any payload);
@@ -84,6 +95,9 @@ class Network {
     bool up = true;
   };
   std::vector<HostSlot> hosts_;
+  // Cut directed links; empty in the fault-free case so the delivery path
+  // pays one set lookup only while a partition is actually in effect.
+  std::set<std::pair<HostId, HostId>> cut_links_;
   FaultHook fault_hook_;
   Time medium_free_at_;
   std::int64_t messages_ = 0;

@@ -476,12 +476,29 @@ TEST(FaultLoadShareTest, ReserverCrashClearsReservation) {
   // Past the 30 s no-input threshold, so the workstations count as idle.
   cluster.sim().run_until(Time::sec(40));
 
-  ASSERT_TRUE(facility.node(wss[2]).try_reserve(wss[1]).is_ok());
+  // Reserve over the wire (as real selectors do): the kReserve request also
+  // teaches wss[2]'s host monitor the requester's boot epoch, which is what
+  // lets it recognise the reboot below as a new incarnation.
+  auto req = std::make_shared<ls::ReserveReq>();
+  req->requester = wss[1];
+  bool reserved = false;
+  cluster.host(wss[1]).rpc().call(
+      wss[2], rpc::ServiceId::kLoadShare,
+      static_cast<int>(ls::LsOp::kReserve), req,
+      [&](util::Result<rpc::Reply> r) {
+        ASSERT_TRUE(r.is_ok() && r->status.is_ok());
+        reserved = true;
+      });
+  cluster.run_until_done([&] { return reserved; });
   ASSERT_TRUE(facility.node(wss[2]).reserved());
 
   cluster.crash_host(wss[1]);
   cluster.sim().run_until(cluster.sim().now() + Time::sec(1));
   cluster.reboot_host(wss[1]);
+  // No omniscient notification: wss[2]'s monitor must probe the reserver
+  // (the reservation makes it interesting) and see the epoch jump. Give it
+  // a few echo intervals.
+  cluster.sim().run_until(cluster.sim().now() + Time::sec(10));
 
   EXPECT_FALSE(facility.node(wss[2]).reserved())
       << "reservation pinned to a crashed requester was never cleared";
