@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "proc/syscalls.h"
 #include "proc/table.h"
+#include "trace/analysis.h"
 #include "util/stats.h"
 
 using sprite::core::SpriteCluster;
@@ -23,9 +24,14 @@ namespace {
 
 // Runs a program that repeats `action` `reps` times with timestamps, either
 // at home or migrated to another host; returns mean per-call latency in ms.
-double measure_call(bool remote, const std::function<Action()>& make_action,
-                    int reps) {
+// With `traced`, event tracing is on for the run and `post` sees the cluster
+// (and its span data) before teardown.
+double measure_call(
+    bool remote, const std::function<Action()>& make_action, int reps,
+    bool traced = false,
+    const std::function<void(SpriteCluster&)>& post = {}) {
   SpriteCluster cluster({.workstations = 3, .seed = 41});
+  if (traced) bench::arm_trace(cluster, "", /*force=*/true);
   auto* server = cluster.kernel().file_server().fs_server();
   server->create_file("/calldata", 64 * 1024);
 
@@ -100,12 +106,68 @@ double measure_call(bool remote, const std::function<Action()>& make_action,
   std::sscanf(std::string(data->begin(), data->end()).c_str(),
               "%lld %lld", reinterpret_cast<long long*>(&t0),
               reinterpret_cast<long long*>(&t1));
+  if (post) post(cluster);
   return static_cast<double>(t1 - t0) / 1000.0 / reps;
+}
+
+// Decomposes one forwarded kernel call (the last "call proc" RPC the
+// migrated process issued from its current host) via the causal span tree:
+// client-side self-time is wire + stub overhead, the serve span is the home
+// machine's handler, anything deeper is the handler's own dependencies.
+void print_forwarded_breakdown(SpriteCluster& cluster,
+                               const std::string& trace_path,
+                               const std::string& metrics_path) {
+  namespace an = sprite::trace::analysis;
+  const auto& ev = cluster.sim().trace().events();
+  // The forwarded call inherits the migration's trace when ambient context
+  // survived the resume; otherwise its spans carry trace id 0 but are still
+  // parent-linked through the RPC wire context. Search both.
+  std::vector<std::uint64_t> ids = an::trace_ids(ev);
+  ids.push_back(0);
+  for (std::uint64_t id : ids) {
+    const an::SpanTree t = an::build_tree(ev, id);
+    const an::Span* call = nullptr;
+    for (const an::Span& s : t.spans)
+      if (s.cat == "rpc" && s.name == "call proc" &&
+          s.host == cluster.workstation(1))
+        call = &s;
+    if (call == nullptr) continue;
+
+    const auto path = an::critical_path(t, call->id);
+    std::printf(
+        "\nforwarded call critical path (gethostname from the remote "
+        "host):\n");
+    Table bt({"where time went (cat/name)", "ms", "% of call"});
+    const auto total = static_cast<double>(call->duration_us());
+    for (const an::LabelTime& lt : an::self_time_by_label(t, path)) {
+      bt.add_row({lt.label, Table::num(static_cast<double>(lt.us) / 1000.0, 3),
+                  Table::num(total > 0 ? 100.0 * lt.us / total : 0.0, 1)});
+    }
+    bt.add_row({"total (client call span)", Table::num(total / 1000.0, 3),
+                "100.0"});
+    bt.print();
+    // The home machine's handler is a child serve span; when it rounds to
+    // zero the whole cost is wire + stub overhead, worth saying out loud.
+    for (std::size_t c : call->children) {
+      const an::Span& ch = t.spans[c];
+      if (ch.cat != "rpc" || ch.name.rfind("serve ", 0) != 0) continue;
+      std::printf("  home-machine handler (%s): %.3f ms — the remainder is "
+                  "kernel-to-kernel RPC wire + stub time\n",
+                  ch.name.c_str(),
+                  static_cast<double>(ch.duration_us()) / 1000.0);
+      break;
+    }
+    break;
+  }
+  if (!trace_path.empty()) bench::finish_trace(cluster, trace_path);
+  bench::write_metrics(cluster, metrics_path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_out_arg(argc, argv);
+  const std::string metrics_path = bench::metrics_out_arg(argc, argv);
   bench::header(
       "E9: kernel-call handling after migration (bench_forwarding)",
       "transferred-state calls stay fast; forwarded-home calls each pay an "
@@ -148,6 +210,14 @@ int main() {
                 e.implemented ? "yes" : "-", e.note});
   }
   dt.print();
+
+  // Where a forwarded call's milliseconds actually go, from the causal
+  // trace: one traced run, decomposed by critical path.
+  measure_call(true,
+               [] { return Action{sprite::proc::SysGetHostName{}}; }, 50,
+               /*traced=*/true, [&](SpriteCluster& cluster) {
+                 print_forwarded_breakdown(cluster, trace_path, metrics_path);
+               });
 
   bench::footnote(
       "Shape check: only the forwarded call pays a multi-millisecond RPC\n"

@@ -4,11 +4,13 @@
 //   exec-time migration of a trivial process   ~76 ms
 //   each open file transferred                 +9.4 ms
 //   each megabyte of dirty data flushed        +480 ms
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "bench_util.h"
 #include "migration/manager.h"
+#include "trace/analysis.h"
 
 using sprite::core::SpriteCluster;
 using sprite::mig::MigrationRecord;
@@ -45,11 +47,19 @@ double null_migration_ms() {
 
 // Active migration of a process holding `files` open streams and `dirty_mb`
 // megabytes of dirty heap, under the Sprite flush strategy. A non-empty
-// `trace_path` records the run as Chrome trace JSON.
-MigrationRecord migrate_with_state(int files, int dirty_mb,
-                                   const std::string& trace_path = "") {
+// `trace_path` records the run as Chrome trace JSON; `analyse` turns tracing
+// on regardless so the causal span tree can be decomposed in-process.
+struct StateRun {
+  MigrationRecord rec;
+  sprite::trace::analysis::MigrationBreakdown breakdown;
+};
+
+StateRun migrate_with_state(int files, int dirty_mb,
+                            const std::string& trace_path = "",
+                            const std::string& metrics_path = "",
+                            bool analyse = false) {
   SpriteCluster cluster({.workstations = 3, .seed = 7});
-  bench::arm_trace(cluster, trace_path);
+  bench::arm_trace(cluster, trace_path, analyse);
   auto* server = cluster.kernel().file_server().fs_server();
   server->mkdir_p("/data");
   for (int f = 0; f < files; ++f)
@@ -63,6 +73,11 @@ MigrationRecord migrate_with_state(int files, int dirty_mb,
   }
   if (pages > 0)
     b.act(sprite::proc::Touch{sprite::vm::Segment::kHeap, 0, pages, true});
+  // Sleep across the migration window, then touch a little memory on the
+  // target: under the flush strategy those are the deferred demand-page
+  // faults the breakdown's first-N row accounts for.
+  b.act(sprite::proc::Pause{Time::sec(15)});
+  b.act(sprite::proc::Touch{sprite::vm::Segment::kHeap, 0, 4, false});
   b.act(sprite::proc::Pause{Time::hours(1)}).exit(0);
   cluster.install_program("/bin/holder",
                           b.image(8, std::max<std::int64_t>(pages, 4), 2));
@@ -71,15 +86,28 @@ MigrationRecord migrate_with_state(int files, int dirty_mb,
   cluster.run_for(Time::sec(10));  // state established, now sleeping
   auto st = cluster.migrate(pid, cluster.workstation(1));
   SPRITE_CHECK(st.is_ok());
-  auto rec = cluster.host(cluster.workstation(0)).mig().last_record();
+  StateRun out;
+  out.rec = cluster.host(cluster.workstation(0)).mig().last_record();
+  if (analyse || !trace_path.empty()) {
+    // Let the migrated process wake and fault a few pages in on the target
+    // so the breakdown's deferred demand-paging row has data.
+    cluster.run_for(Time::sec(10));
+    const auto& ev = cluster.sim().trace().events();
+    for (std::uint64_t id : sprite::trace::analysis::trace_ids(ev)) {
+      auto b = sprite::trace::analysis::migration_breakdown(ev, id);
+      if (b.valid) out.breakdown = b;
+    }
+  }
   if (!trace_path.empty()) bench::finish_trace(cluster, trace_path);
-  return rec;
+  bench::write_metrics(cluster, metrics_path);
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_out_arg(argc, argv);
+  const std::string metrics_path = bench::metrics_out_arg(argc, argv);
   bench::header("E1: migration cost breakdown (bench_migration_cost)",
                 "null exec-time migration ~76 ms; +9.4 ms per open file; "
                 "+480 ms per dirty MB flushed");
@@ -87,13 +115,13 @@ int main(int argc, char** argv) {
   const double null_ms = null_migration_ms();
 
   // Per-file slope.
-  const double base_files = migrate_with_state(0, 0).total_time().ms();
-  const double eight_files = migrate_with_state(8, 0).total_time().ms();
+  const double base_files = migrate_with_state(0, 0).rec.total_time().ms();
+  const double eight_files = migrate_with_state(8, 0).rec.total_time().ms();
   const double per_file = (eight_files - base_files) / 8.0;
 
   // Per-MB slope (flush strategy).
-  const double base_vm = migrate_with_state(0, 0).total_time().ms();
-  const double four_mb = migrate_with_state(0, 4).total_time().ms();
+  const double base_vm = migrate_with_state(0, 0).rec.total_time().ms();
+  const double four_mb = migrate_with_state(0, 4).rec.total_time().ms();
   const double per_mb = (four_mb - base_vm) / 4.0;
 
   Table t({"component", "paper", "measured"});
@@ -107,13 +135,13 @@ int main(int argc, char** argv) {
   std::printf("\nraw points:\n");
   Table t2({"open files", "dirty MB", "total ms", "freeze ms", "streams"});
   for (int f : {0, 2, 4, 8}) {
-    auto r = migrate_with_state(f, 0);
+    auto r = migrate_with_state(f, 0).rec;
     t2.add_row({std::to_string(f), "0", Table::num(r.total_time().ms(), 1),
                 Table::num(r.freeze_time().ms(), 1),
                 std::to_string(r.streams_moved)});
   }
   for (int mb : {1, 2, 4, 8}) {
-    auto r = migrate_with_state(0, mb);
+    auto r = migrate_with_state(0, mb).rec;
     t2.add_row({"0", std::to_string(mb), Table::num(r.total_time().ms(), 1),
                 Table::num(r.freeze_time().ms(), 1),
                 std::to_string(r.streams_moved)});
@@ -122,9 +150,12 @@ int main(int argc, char** argv) {
 
   // Component breakdown of one representative migration (4 open files,
   // 2 MB dirty), mirroring the thesis's cost-breakdown table. This run is
-  // the one recorded by --trace-out.
+  // the one recorded by --trace-out; it is always traced so the causal span
+  // tree can be decomposed regardless of the flag.
   {
-    auto rec = migrate_with_state(4, 2, trace_path);
+    auto run = migrate_with_state(4, 2, trace_path, metrics_path,
+                                  /*analyse=*/true);
+    const auto& rec = run.rec;
     Table t3({"phase", "ms"});
     t3.add_row({"init handshake (version check, slot)",
                 Table::num((rec.init_done_at - rec.started).ms(), 1)});
@@ -137,6 +168,20 @@ int main(int argc, char** argv) {
     t3.add_row({"TOTAL", Table::num(rec.total_time().ms(), 1)});
     std::printf("\ncomponent breakdown (4 open files, 2 MB dirty):\n");
     t3.print();
+
+    // The same breakdown, reconstructed purely from the causal trace. The
+    // in-total components must tile the end-to-end span: a >5% mismatch
+    // means the span data lies about where the time went.
+    const auto& bd = run.breakdown;
+    SPRITE_CHECK_MSG(bd.valid, "no migration trace in the representative run");
+    std::printf("\ncritical-path breakdown (from the causal span tree):\n%s",
+                bd.table().c_str());
+    const auto sum = static_cast<double>(bd.sum_in_total_us());
+    const auto total = static_cast<double>(bd.total_us);
+    SPRITE_CHECK_MSG(total > 0 && std::abs(sum - total) <= 0.05 * total,
+                     "breakdown components do not sum to the migration time");
+    std::printf("component sum %.3f ms vs end-to-end %.3f ms (%.2f%%)\n",
+                sum / 1000.0, total / 1000.0, 100.0 * sum / total);
   }
 
   bench::footnote(

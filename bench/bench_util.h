@@ -25,34 +25,62 @@ inline void header(const char* experiment, const char* paper_claim) {
 
 inline void footnote(const char* text) { std::printf("\n%s\n", text); }
 
-// ---- Tracing (trace/trace.h) ----
+// ---- Tracing & metrics export (trace/trace.h) ----
 //
 // Every bench binary accepts `--trace-out <file>.json`. When given, event
 // tracing is enabled on the cluster's simulator, the run's events are written
-// as Chrome trace_event JSON (open in Perfetto / chrome://tracing), and the
-// metrics table is printed at exit. Without the flag, only the always-on
-// counters run.
+// as Chrome trace_event JSON (open in Perfetto / chrome://tracing — causal
+// cross-host edges render as flow arrows), and the metrics table is printed
+// at exit. Without the flag, only the always-on counters run.
+//
+// `--metrics-out <file>.json` independently writes the final metrics
+// snapshot (counters/gauges/histograms, deterministic key order) as JSON for
+// scripted comparison across runs. Suggested suffixes `*.trace.json` /
+// `*.metrics.json` are gitignored.
 
-// Returns the --trace-out argument, or "" when absent.
-inline std::string trace_out_arg(int argc, char** argv) {
+inline std::string flag_arg(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--trace-out" && i + 1 < argc) return argv[i + 1];
-    if (a.rfind("--trace-out=", 0) == 0) return a.substr(12);
+    if (a == flag && i + 1 < argc) return argv[i + 1];
+    if (a.rfind(flag + "=", 0) == 0) return a.substr(flag.size() + 1);
   }
   return "";
 }
 
-// Call after constructing the cluster, before running the workload.
+// Returns the --trace-out argument, or "" when absent.
+inline std::string trace_out_arg(int argc, char** argv) {
+  return flag_arg(argc, argv, "--trace-out");
+}
+
+// Returns the --metrics-out argument, or "" when absent.
+inline std::string metrics_out_arg(int argc, char** argv) {
+  return flag_arg(argc, argv, "--metrics-out");
+}
+
+// Call after constructing the cluster, before running the workload. `force`
+// enables tracing even without an output path — for benches that analyse
+// the span tree in-process (critical-path breakdowns).
 inline void arm_trace(sprite::core::SpriteCluster& cluster,
-                      const std::string& path) {
-  if (path.empty()) return;
+                      const std::string& path, bool force = false) {
+  if (path.empty() && !force) return;
   sprite::trace::Registry& tr = cluster.sim().trace();
   tr.set_tracing(true);
   for (std::size_t h = 0; h < cluster.kernel().num_hosts(); ++h) {
     auto id = static_cast<sprite::sim::HostId>(h);
     tr.set_host_name(id, cluster.kernel().host(id).name());
   }
+}
+
+// Writes the metrics snapshot as JSON when a --metrics-out path was given.
+inline void write_metrics(sprite::core::SpriteCluster& cluster,
+                          const std::string& path) {
+  if (path.empty()) return;
+  const sprite::util::Status s =
+      cluster.sim().trace().write_metrics_json(path);
+  if (s.is_ok())
+    std::printf("\nmetrics: -> %s\n", path.c_str());
+  else
+    std::printf("\nmetrics: write failed: %s\n", s.to_string().c_str());
 }
 
 // Call after the workload finishes: writes the trace JSON (when a path was

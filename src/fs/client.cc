@@ -1075,6 +1075,8 @@ void FsClient::recover_stale(const StreamPtr& s, StatusCb cb) {
     return;
   }
   c_stale_reopens_->inc();
+  sim_.trace().flight_note("fs.reopen", "stale", rpc_.host(), -1,
+                           s->file.server, s->file.ino);
   if (trace::Registry& tr = sim_.trace(); tr.tracing())
     tr.instant("fs", "stale reopen", rpc_.host(), -1, {{"path", s->path}});
   // Dirty blocks cached here survive and stay dirty: they are flushed under

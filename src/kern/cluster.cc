@@ -163,6 +163,7 @@ void Cluster::crash_host(sim::HostId h) {
   net_.set_host_up(h, false);
   LOG_INFO("kern", "host%d crashed", h);
   host(h).crash_reset();
+  sim_.trace().flight_note("kern.crash", "host", h);
   sim_.trace().counter("kern.host.crashes", h).inc();
   if (sim_.trace().tracing()) sim_.trace().instant("kern", "crash", h);
   // Survivors are NOT told. Each one's host monitor discovers the death
@@ -178,6 +179,7 @@ void Cluster::reboot_host(sim::HostId h) {
   net_.set_host_up(h, true);
   host(h).boot();
   LOG_INFO("kern", "host%d rebooted", h);
+  sim_.trace().flight_note("kern.reboot", "host", h);
   sim_.trace().counter("kern.host.reboots", h).inc();
   if (sim_.trace().tracing()) sim_.trace().instant("kern", "reboot", h);
   for (const auto& fn : reboot_observers_) fn(h);
@@ -228,6 +230,11 @@ void Cluster::run_until_done(const std::function<bool()>& done) {
         LOG_ERROR("kern", "host%d: %zu parked pipe retr%s", h, n,
                   n == 1 ? "y" : "ies");
     }
+    // The per-host snapshot above says what everyone is waiting ON; the
+    // flight recorder says what everyone was DOING. Dump it here rather
+    // than relying on the CHECK hook so the tail prints even if a custom
+    // hook was installed over the registry's.
+    sim_.trace().dump_flight("starvation diagnosis");
   }
   SPRITE_CHECK_MSG(finished,
                    "simulation starved before completion (protocol deadlock?)");

@@ -65,7 +65,8 @@ const MigrationManager::Stats& MigrationManager::stats() const {
   return stats_view_;
 }
 
-void MigrationManager::note_success(const MigrationRecord& rec) {
+void MigrationManager::note_success(const Outgoing& og) {
+  const MigrationRecord& rec = og.rec;
   h_total_ms_->record(rec.total_time().ms());
   h_freeze_ms_->record(rec.freeze_time().ms());
 
@@ -75,25 +76,36 @@ void MigrationManager::note_success(const MigrationRecord& rec) {
   // The pipeline is continuation-passing, so the lifecycle spans are emitted
   // retroactively from the record's timestamps — the thesis's freeze-time
   // breakdown (init / vm / streams / resume) falls straight out of the trace.
-  tr.span_at("mig",
-             rec.exec_time ? std::string("migrate exec-time")
-                           : std::string("migrate ") +
-                                 strategy_name(rec.strategy),
-             rec.from, pid, rec.started, rec.resumed_at,
-             {{"to", std::to_string(rec.to)},
-              {"pages_moved", std::to_string(rec.pages_moved)},
-              {"pages_flushed", std::to_string(rec.pages_flushed)},
-              {"precopy_rounds", std::to_string(rec.precopy_rounds)},
-              {"streams", std::to_string(rec.streams_moved)}});
+  // The root span reuses the id reserved at migrate() time, so the live
+  // spans (RPCs, VM flush, demand paging) recorded during the pipeline are
+  // already its descendants.
+  std::uint64_t trace_id = og.ctx.trace_id;
+  if (trace_id == 0) trace_id = tr.new_trace().trace_id;
+  const trace::SpanId root = tr.span_at(
+      "mig",
+      rec.exec_time
+          ? std::string("migrate exec-time")
+          : std::string("migrate ") + strategy_name(rec.strategy),
+      rec.from, pid, rec.started, rec.resumed_at,
+      {{"to", std::to_string(rec.to)},
+       {"pages_moved", std::to_string(rec.pages_moved)},
+       {"pages_flushed", std::to_string(rec.pages_flushed)},
+       {"precopy_rounds", std::to_string(rec.precopy_rounds)},
+       {"streams", std::to_string(rec.streams_moved)}},
+      trace::Context{trace_id, 0}, og.root_span);
+  const trace::Context child{trace_id, root};
   tr.span_at("mig", "init handshake", rec.from, pid, rec.started,
-             rec.init_done_at);
+             rec.init_done_at, {}, child);
   tr.span_at("mig", std::string("vm ") + strategy_name(rec.strategy),
-             rec.from, pid, rec.init_done_at, rec.vm_done_at);
+             rec.from, pid, rec.init_done_at, rec.vm_done_at, {}, child);
   tr.span_at("mig", "streams re-attribute", rec.from, pid, rec.vm_done_at,
-             rec.streams_done_at);
+             rec.streams_done_at, {}, child);
   tr.span_at("mig", "transfer+resume", rec.from, pid, rec.streams_done_at,
-             rec.resumed_at);
-  tr.span_at("mig", "frozen", rec.from, pid, rec.frozen_at, rec.resumed_at);
+             rec.resumed_at, {}, child);
+  // Overlay spanning several pipeline stages: tagged with the trace but
+  // deliberately parentless so tree analyses do not double-count it.
+  tr.span_at("mig", "frozen", rec.from, pid, rec.frozen_at, rec.resumed_at,
+             {}, trace::Context{trace_id, 0});
 }
 
 void MigrationManager::register_services() {
@@ -110,6 +122,8 @@ const MigrationRecord& MigrationManager::last_record() const {
 }
 
 void MigrationManager::notify_stage(Pid pid, MigStage s) {
+  host_.cluster().sim().trace().flight_note(
+      "mig.stage", mig_stage_name(s), self_, static_cast<std::int64_t>(pid));
   if (stage_observers_.empty()) return;
   // Copy: an observer may crash hosts, which mutates observer lists and
   // clears outgoing_ reentrantly. Call sites revalidate afterwards.
@@ -146,11 +160,25 @@ void MigrationManager::migrate(const PcbPtr& pcb, HostId target,
   og.rec.exec_time = pcb->program == nullptr;
   og.rec.started = host_.cluster().sim().now();
   og.rec.frozen_at = og.rec.started;
+
+  trace::Registry& tr = host_.cluster().sim().trace();
+  tr.flight_note("mig.start", strategy_name(strategy_), self_,
+                 static_cast<std::int64_t>(pcb->pid), target);
+  if (tr.tracing()) {
+    // One trace per migration, rooted at a span emitted retroactively on
+    // completion. Making the context ambient for the kInit call below puts
+    // the whole continuation-passing pipeline — and, via the wire-carried
+    // contexts, the target/home/file-server side — into this trace.
+    og.root_span = tr.reserve_span();
+    og.ctx = trace::Context{tr.new_trace().trace_id, og.root_span};
+  }
+  const trace::Context mig_ctx = og.ctx;
   outgoing_.emplace(token, std::move(og));
 
   auto body = std::make_shared<InitReq>();
   body->version = version_;
   body->pid = pcb->pid;
+  trace::ScopedContext scope(tr, mig_ctx);
   host_.rpc().call(target, ServiceId::kMigration,
                    static_cast<int>(MigOp::kInit), body,
                    [this, token](util::Result<Reply> r) {
@@ -491,7 +519,7 @@ void MigrationManager::send_transfer(std::uint64_t token,
               host_.procs().remove(og.pcb->pid);
               c_out_->inc();
               records_.push_back(og.rec);
-              note_success(og.rec);
+              note_success(og);
               notify_stage(og.rec.pid, MigStage::kResume);
               // An observer may have crashed this very host; the completion
               // callback belonged to the now-dead kernel.
@@ -507,11 +535,22 @@ void MigrationManager::fail(std::uint64_t token, Status why) {
   Outgoing og = std::move(it->second);
   outgoing_.erase(it);
   c_failed_->inc();
-  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+  host_.cluster().sim().trace().flight_note(
+      "mig.fail", "aborted", self_, static_cast<std::int64_t>(og.pcb->pid),
+      og.target);
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing()) {
     tr.instant("mig", "migrate failed", self_,
                static_cast<std::int64_t>(og.pcb->pid),
                {{"to", std::to_string(og.target)},
                 {"why", why.to_string()}});
+    // Close out the reserved root span so the trace of a failed migration
+    // still has its operation root (live child spans reference it).
+    if (og.root_span != 0)
+      tr.span_at("mig", "migrate (failed)", self_,
+                 static_cast<std::int64_t>(og.pcb->pid), og.rec.started,
+                 host_.cluster().sim().now(), {{"why", why.to_string()}},
+                 trace::Context{og.ctx.trace_id, 0}, og.root_span);
+  }
 
   // Tell the target to drop any pending slot. If the target is dead the
   // RPC layer fails this quickly (a down peer gets one doubtful attempt);
@@ -847,6 +886,9 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
         static_cast<int>(proc::ProcOp::kUpdateLocation), upd,
         [this, pcb, respond_sp](util::Result<Reply>) mutable {
           c_in_->inc();
+          host_.cluster().sim().trace().flight_note(
+              "mig.in", "resumed", self_,
+              static_cast<std::int64_t>(pcb->pid), pcb->home);
           if (trace::Registry& tr = host_.cluster().sim().trace();
               tr.tracing())
             tr.instant("mig", "migrated in", self_,

@@ -188,6 +188,12 @@ class MigrationManager : public proc::MigratorIface {
     // into the request body, and fail() must be able to reclaim it no matter
     // which path (RPC error, peer crash) aborts the migration.
     std::shared_ptr<TransferReq> body;
+    // Causal trace of this migration: a trace id + reserved root span,
+    // ambient for the whole pipeline so every RPC/VM/stream span (on any
+    // host) lands in one tree. The root span itself is emitted retroactively
+    // by note_success()/fail() under the reserved id.
+    trace::Context ctx;
+    trace::SpanId root_span = 0;
   };
 
   void handle_rpc(sim::HostId src, const rpc::Request& req,
@@ -242,7 +248,7 @@ class MigrationManager : public proc::MigratorIface {
 
   // Emits the freeze/vm/streams/resume span breakdown and feeds the latency
   // histograms once a migration completes.
-  void note_success(const MigrationRecord& rec);
+  void note_success(const Outgoing& og);
 
   // Registry-backed metrics (trace/trace.h) and the legacy struct view.
   trace::Counter* c_out_;

@@ -146,6 +146,7 @@ void HostMonitor::note_unreachable(HostId peer) {
       p.st = PeerState::kSuspect;
       p.suspect_since = sim_.now();
       c_suspects_->inc();
+      sim_.trace().flight_note("recov.suspect", "raised", self_, -1, peer);
       LOG_INFO("recov", "host%d suspects host%d", self_, peer);
       if (trace::Registry& tr = sim_.trace(); tr.tracing())
         tr.instant("recov", "peer_suspect", self_, -1,
@@ -165,6 +166,12 @@ void HostMonitor::declare_down(HostId peer) {
   p.st = PeerState::kDown;
   c_downs_->inc();
   LOG_INFO("recov", "host%d declares host%d down", self_, peer);
+  // A down verdict is the moment fault forensics matter: the flight tail
+  // shows what the cluster was doing while the evidence accumulated. The
+  // full dump is gated (partition matrices reach verdicts by design).
+  sim_.trace().flight_note("recov.down", "verdict", self_, -1, peer);
+  if (sim_.trace().dump_on_down_verdict())
+    sim_.trace().dump_flight("down verdict", 64);
   if (trace::Registry& tr = sim_.trace(); tr.tracing())
     tr.instant("recov", "peer_down", self_, -1,
                {{"peer", std::to_string(peer)}});

@@ -73,6 +73,8 @@ void RpcNode::note_peer_epoch(HostId peer, std::uint32_t epoch) {
   }
   g_dedup_size_->set(static_cast<double>(served_.size()));
   c_reincarnations_->inc();
+  sim_.trace().flight_note("rpc.epoch", "reincarnated", self_, -1, peer,
+                           epoch);
   if (trace::Registry& tr = sim_.trace(); tr.tracing())
     tr.instant("rpc", "peer_reincarnated", self_, -1,
                {{"peer", std::to_string(peer)}});
@@ -93,6 +95,8 @@ void RpcNode::fail_calls_to(HostId peer) {
     if (it == pending_.end()) continue;
     it->second.timeout.cancel();
     c_timeouts_->inc();
+    sim_.trace().flight_note("rpc.fail", service_name(it->second.req.service),
+                             self_, -1, peer, it->second.req.op);
     auto cb = std::move(it->second.on_reply);
     pending_.erase(it);
     cb(util::Status(util::Err::kTimedOut, "peer declared down"));
@@ -110,6 +114,9 @@ void RpcNode::resume_calls_to(HostId peer) {
     it->second.attempts = 0;
     it->second.backoff = costs_.rpc_timeout;
     c_unparked_->inc();
+    sim_.trace().flight_note("rpc.unpark",
+                             service_name(it->second.req.service), self_, -1,
+                             peer, it->second.req.op);
     transmit(id);
   }
 }
@@ -156,13 +163,19 @@ void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
 void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
                    ReplyCallback on_reply, CallOpts opts) {
   c_started_->inc();
+  sim_.trace().flight_note("rpc.call", service_name(service), self_, -1, dst,
+                           op);
 
   // Span covering the whole client-side call, local or remote, until the
-  // reply callback fires. One branch when tracing is disabled.
+  // reply callback fires. One branch when tracing is disabled. The span is
+  // a child of whatever operation is ambient, and its own context travels
+  // with the request so the server-side span becomes its child.
+  trace::Context call_ctx;
   if (trace::Registry & tr = sim_.trace(); tr.tracing()) {
     const trace::SpanId sp = tr.begin_span(
         "rpc", std::string("call ") + service_name(service), self_, -1,
         {{"dst", std::to_string(dst)}, {"op", std::to_string(op)}});
+    call_ctx = tr.span_context(sp);
     on_reply = [&tr, sp, cb = std::move(on_reply)](util::Result<Reply> r) {
       const bool ok = r.is_ok() && r->status.is_ok();
       tr.end_span(sp, {{"ok", ok ? "1" : "0"}});
@@ -173,6 +186,9 @@ void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
   if (dst == self_) {
     // Local fast path: dispatch through the same table, no network, no
     // marshalling CPU (Sprite short-circuits local RPCs the same way).
+    // The dispatch runs under the call span's context so the handler's
+    // work is attributed as its child.
+    trace::ScopedContext scope(sim_.trace(), call_ctx);
     auto it = services_.find(service);
     if (it == services_.end()) {
       sim_.after(Time::zero(), [cb = std::move(on_reply)] {
@@ -207,6 +223,7 @@ void RpcNode::call(HostId dst, ServiceId service, int op, MessagePtr body,
   pc.on_reply = std::move(on_reply);
   pc.opts = opts;
   pc.backoff = costs_.rpc_timeout;
+  pc.ctx = call_ctx;
   pending_.emplace(id, std::move(pc));
   transmit(id);
 }
@@ -215,11 +232,15 @@ void RpcNode::transmit(std::uint64_t call_id) {
   auto it = pending_.find(call_id);
   if (it == pending_.end()) return;
   ++it->second.attempts;
+  // Marshalling and everything downstream (wire, timeout) run under the
+  // call span's context; retransmissions re-enter here and reuse the same
+  // stored context, so the wire always carries the original span.
+  trace::ScopedContext scope(sim_.trace(), it->second.ctx);
   // Marshalling consumes client kernel CPU before the packet hits the wire.
   cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg, [this, call_id] {
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;  // completed or failed meanwhile
-    WireRequest w{call_id, epoch_, it->second.req};
+    WireRequest w{call_id, epoch_, it->second.req, it->second.ctx};
     net_.send(self_, it->second.dst, it->second.req.wire_bytes(),
               std::any(std::move(w)));
     arm_timeout(call_id);
@@ -253,12 +274,18 @@ void RpcNode::arm_timeout(std::uint64_t call_id) {
         // or declares the peer down (fail_calls_to aborts us).
         it->second.parked = true;
         c_parked_->inc();
+        sim_.trace().flight_note("rpc.park",
+                                 service_name(it->second.req.service), self_,
+                                 -1, dst, it->second.req.op);
         if (trace::Registry& tr = sim_.trace(); tr.tracing())
           tr.instant("rpc", "call_parked", self_, -1,
                      {{"dst", std::to_string(dst)}});
         return;
       }
       c_timeouts_->inc();
+      sim_.trace().flight_note("rpc.timeout",
+                               service_name(it->second.req.service), self_,
+                               -1, dst, it->second.req.op);
       auto cb = std::move(it->second.on_reply);
       pending_.erase(it);
       cb(util::Status(util::Err::kTimedOut, "rpc retries exhausted"));
@@ -275,6 +302,9 @@ void RpcNode::arm_timeout(std::uint64_t call_id) {
     it->second.backoff = Time::usec(static_cast<std::int64_t>(next_us));
     h_backoff_us_->record(next_us);
     c_retrans_->inc();
+    sim_.trace().flight_note("rpc.retransmit",
+                             service_name(it->second.req.service), self_, -1,
+                             it->second.dst, it->second.attempts);
     if (trace::Registry& tr = sim_.trace(); tr.tracing())
       tr.instant("rpc", "retransmit", self_, -1,
                  {{"dst", std::to_string(it->second.dst)},
@@ -304,7 +334,8 @@ void RpcNode::multicast(ServiceId service, int op, MessagePtr body) {
   // call_id 0 marks a one-way request: no dedup, no reply.
   cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
               [this, req = std::move(req), bytes]() mutable {
-                WireRequest w{0, epoch_, std::move(req)};
+                WireRequest w{0, epoch_, std::move(req),
+                              sim_.trace().current()};
                 net_.multicast(self_, bytes, std::any(std::move(w)));
               });
 }
@@ -312,20 +343,28 @@ void RpcNode::multicast(ServiceId service, int op, MessagePtr body) {
 void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
   note_peer_epoch(src, wreq.epoch);
   if (wreq.call_id == 0) {
-    // One-way multicast: dispatch with a reply sink that goes nowhere.
+    // One-way multicast: dispatch with a reply sink that goes nowhere,
+    // under the sender's context (there is no per-call server span).
     auto svc_it = services_.find(wreq.req.service);
     if (svc_it == services_.end()) return;
     c_served_->inc();
+    trace::ScopedContext scope(sim_.trace(), wreq.ctx);
     svc_it->second(src, wreq.req, [](Reply) {});
     return;
   }
   const auto key = std::make_pair(src, wreq.call_id);
   auto slot_it = served_.find(key);
   if (slot_it != served_.end()) {
+    // Duplicate: no new server span — the retransmitted request carries the
+    // same client context, and at-most-once execution means at most one
+    // child. The cached-reply replay still runs under that context.
+    sim_.trace().flight_note("rpc.dedup", service_name(wreq.req.service),
+                             self_, -1, src, wreq.req.op);
     touch_dedup(slot_it->second);
     if (slot_it->second.completed) {
       // Duplicate of a completed call: replay the cached reply.
-      WireReply w{wreq.call_id, epoch_, slot_it->second.cached};
+      trace::ScopedContext scope(sim_.trace(), wreq.ctx);
+      WireReply w{wreq.call_id, epoch_, slot_it->second.cached, wreq.ctx};
       net_.send(self_, src, slot_it->second.cached.wire_bytes(),
                 std::any(std::move(w)));
     }
@@ -338,6 +377,8 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
   new_it->second.lru_it = dedup_lru_.insert(dedup_lru_.end(), key);
   prune_dedup();
   c_served_->inc();
+  sim_.trace().flight_note("rpc.serve", service_name(wreq.req.service), self_,
+                           -1, src, wreq.req.op);
 
   std::function<void(Reply)> respond = [this, src, call_id = wreq.call_id,
                                         key](Reply rep) {
@@ -347,26 +388,35 @@ void RpcNode::handle_request(HostId src, const WireRequest& wreq) {
       it->second.cached = rep;
       touch_dedup(it->second);
     }
-    // Reply marshalling consumes server CPU, then the wire.
+    // Reply marshalling consumes server CPU, then the wire. The reply
+    // carries the responder's context back, so the client-side continuation
+    // is attributed as causally following the server's work.
     cpu_.submit(JobClass::kKernel, costs_.rpc_cpu_per_msg,
                 [this, src, call_id, rep = std::move(rep)] {
-                  WireReply w{call_id, epoch_, rep};
+                  WireReply w{call_id, epoch_, rep, sim_.trace().current()};
                   net_.send(self_, src, rep.wire_bytes(),
                             std::any(std::move(w)));
                 });
   };
 
-  // Span covering the server-side dispatch until the handler responds.
+  // Span covering the server-side dispatch until the handler responds; a
+  // child of the client-side call span via the wire-carried context.
+  trace::Context serve_ctx = wreq.ctx;
   if (trace::Registry & tr = sim_.trace(); tr.tracing()) {
+    trace::ScopedContext link(tr, wreq.ctx);
     const trace::SpanId sp = tr.begin_span(
         "rpc", std::string("serve ") + service_name(wreq.req.service), self_,
         -1, {{"src", std::to_string(src)}, {"op", std::to_string(wreq.req.op)}});
+    serve_ctx = tr.span_context(sp);
     respond = [&tr, sp, inner = std::move(respond)](Reply rep) {
       tr.end_span(sp, {{"ok", rep.status.is_ok() ? "1" : "0"}});
       inner(std::move(rep));
     };
   }
 
+  // The handler (and any asynchronous work it schedules before responding)
+  // runs under the serve span's context.
+  trace::ScopedContext scope(sim_.trace(), serve_ctx);
   auto svc_it = services_.find(wreq.req.service);
   if (svc_it == services_.end()) {
     respond(Reply{util::Status(util::Err::kNotSupported, "no such service"),
@@ -406,6 +456,9 @@ void RpcNode::handle_reply(HostId src, const WireReply& wrep) {
   it->second.timeout.cancel();
   auto cb = std::move(it->second.on_reply);
   pending_.erase(it);
+  // The continuation causally follows the server's reply: run it under the
+  // reply-carried context so work it starts nests below the serve span.
+  trace::ScopedContext scope(sim_.trace(), wrep.ctx);
   cb(wrep.rep);
 }
 

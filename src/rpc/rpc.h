@@ -197,11 +197,17 @@ class RpcNode {
     std::uint64_t call_id;
     std::uint32_t epoch;  // sender's reboot epoch
     Request req;
+    // Causal context of the client-side call span. Stored in the pending
+    // call and stamped onto every (re)transmission, so a retransmitted
+    // request carries the same context and the dedup cache guarantees it
+    // spawns at most one server-side child span.
+    trace::Context ctx;
   };
   struct WireReply {
     std::uint64_t call_id;
     std::uint32_t epoch;
     Reply rep;
+    trace::Context ctx;  // server-side serve-span context
   };
 
   struct PendingCall {
@@ -213,6 +219,7 @@ class RpcNode {
     CallOpts opts;
     sim::Time backoff;    // current retransmission interval
     bool parked = false;  // retries exhausted, peer suspect: stalled
+    trace::Context ctx;   // client call-span context, stable across retries
   };
 
   void handle_request(sim::HostId src, const WireRequest& wreq);

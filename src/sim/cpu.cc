@@ -26,7 +26,7 @@ std::deque<Cpu::Job>& Cpu::queue_for(JobClass cls) {
 CpuJobId Cpu::submit(JobClass cls, Time demand, std::function<void()> on_done) {
   SPRITE_CHECK_MSG(demand >= Time::zero(), "negative CPU demand");
   const CpuJobId id = next_id_++;
-  Job job{id, cls, demand, std::move(on_done), true};
+  Job job{id, cls, demand, std::move(on_done), true, sim_.trace().current()};
 
   if (demand == Time::zero()) {
     // Zero-demand jobs complete on the spot (but asynchronously, to keep
@@ -153,8 +153,12 @@ void Cpu::on_slice_end() {
 
   if (job.remaining <= Time::zero()) {
     auto on_done = std::move(job.on_done);
+    const trace::Context ctx = job.ctx;
     maybe_start();
-    if (on_done) on_done();
+    if (on_done) {
+      trace::ScopedContext scope(sim_.trace(), ctx);
+      on_done();
+    }
     return;
   }
 

@@ -72,6 +72,10 @@ class Cpu {
     Time remaining;
     std::function<void()> on_done;
     bool alive = true;
+    // Captured at submit(): jobs wait in this object's own queues, outside
+    // the simulator's event-capture path, so the causal context must ride
+    // along explicitly to reach on_done.
+    trace::Context ctx;
   };
 
   struct Running {

@@ -15,6 +15,16 @@ Simulator::~Simulator() { util::set_log_time_source(nullptr); }
 
 EventHandle Simulator::at(Time t, std::function<void()> fn) {
   SPRITE_CHECK_MSG(t >= now_, "scheduling into the past");
+  // Causal context follows the work: an event scheduled while a traced
+  // operation is ambient runs under that same context, so continuation
+  // chains (RPC handling, network delivery, timer callbacks) inherit their
+  // trace without any per-subsystem plumbing. Free when no trace is active.
+  if (const trace::Context ctx = trace_->current(); ctx.valid()) {
+    return queue_.schedule(t, [this, ctx, fn = std::move(fn)] {
+      trace::ScopedContext scope(*trace_, ctx);
+      fn();
+    });
+  }
   return queue_.schedule(t, std::move(fn));
 }
 

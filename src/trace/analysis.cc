@@ -1,0 +1,282 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table.h"
+
+namespace sprite::trace::analysis {
+
+const Span* SpanTree::find(SpanId id) const {
+  for (const Span& s : spans)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+const Span* SpanTree::root_like(const std::string& cat,
+                                const std::string& name_prefix) const {
+  for (std::size_t i : roots) {
+    const Span& s = spans[i];
+    if (s.cat != cat) continue;
+    if (s.name.compare(0, name_prefix.size(), name_prefix) != 0) continue;
+    return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint64_t> trace_ids(const std::vector<Event>& events) {
+  std::vector<std::uint64_t> out;
+  for (const Event& e : events)
+    if (e.phase == 'b' && e.trace_id != 0) out.push_back(e.trace_id);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SpanTree build_tree(const std::vector<Event>& events, std::uint64_t trace_id) {
+  SpanTree t;
+  t.trace_id = trace_id;
+  // First pass: collect this trace's begin events (span-id order == event
+  // order for a given id, since ids are allocated monotonically).
+  std::map<SpanId, std::size_t> index;
+  for (const Event& e : events) {
+    if (e.phase != 'b' || e.trace_id != trace_id) continue;
+    Span s;
+    s.id = e.id;
+    s.parent = e.parent;
+    s.host = e.host;
+    s.pid = e.pid;
+    s.cat = e.cat;
+    s.name = e.name;
+    s.begin_us = e.ts_us;
+    s.end_us = e.ts_us;  // provisional until the 'e' is seen
+    s.args = e.args;
+    index[s.id] = t.spans.size();
+    t.spans.push_back(std::move(s));
+  }
+  // Second pass: close them. A span can be begun and ended out of event
+  // order only via span_at (which emits b then e adjacently), so a single
+  // sweep suffices.
+  std::vector<bool> closed(t.spans.size(), false);
+  for (const Event& e : events) {
+    if (e.phase != 'e') continue;
+    auto it = index.find(e.id);
+    if (it == index.end()) continue;
+    Span& s = t.spans[it->second];
+    s.end_us = e.ts_us;
+    for (const auto& kv : e.args) s.args.push_back(kv);
+    closed[it->second] = true;
+  }
+  // Drop still-open spans (crash mid-operation): erase from the back so
+  // earlier indices stay valid.
+  for (std::size_t i = t.spans.size(); i-- > 0;) {
+    if (!closed[i]) {
+      index.erase(t.spans[i].id);
+      t.spans.erase(t.spans.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Rebuild the index after erasure and wire parents.
+  index.clear();
+  for (std::size_t i = 0; i < t.spans.size(); ++i) index[t.spans[i].id] = i;
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    const Span& s = t.spans[i];
+    auto pit = s.parent != 0 ? index.find(s.parent) : index.end();
+    if (pit == index.end() || pit->second == i)
+      t.roots.push_back(i);
+    else
+      t.spans[pit->second].children.push_back(i);
+  }
+  return t;
+}
+
+namespace {
+
+// Appends, in reverse chronological order, the self-time segments of the
+// critical path through spans[idx] covering [spans[idx].begin_us, upto).
+void walk_reverse(const SpanTree& t, std::size_t idx, std::int64_t upto,
+                  std::vector<PathSegment>& out) {
+  const Span& s = t.spans[idx];
+  std::int64_t cur = upto;
+  while (cur > s.begin_us) {
+    // The child that finishes latest but not after the cursor is the one
+    // whose completion gated this point in time. Ties (identical end) break
+    // toward the later begin: the shorter span is the inner dependency.
+    std::size_t best = t.spans.size();
+    for (std::size_t c : s.children) {
+      const Span& ch = t.spans[c];
+      if (ch.end_us > cur || ch.end_us <= s.begin_us) continue;
+      // Only children that begin strictly before the cursor can advance it;
+      // a zero-length child sitting exactly at `cur` would otherwise be
+      // re-selected forever.
+      if (ch.begin_us >= cur) continue;
+      if (best == t.spans.size() || ch.end_us > t.spans[best].end_us ||
+          (ch.end_us == t.spans[best].end_us &&
+           ch.begin_us > t.spans[best].begin_us))
+        best = c;
+    }
+    if (best == t.spans.size()) {
+      out.push_back(PathSegment{idx, s.begin_us, cur});
+      return;
+    }
+    const Span& ch = t.spans[best];
+    if (ch.end_us < cur) out.push_back(PathSegment{idx, ch.end_us, cur});
+    const std::int64_t child_from = std::max(ch.begin_us, s.begin_us);
+    walk_reverse(t, best, ch.end_us, out);
+    cur = child_from;
+  }
+}
+
+}  // namespace
+
+std::vector<PathSegment> critical_path(const SpanTree& tree, SpanId root) {
+  std::vector<PathSegment> out;
+  for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+    if (tree.spans[i].id != root) continue;
+    walk_reverse(tree, i, tree.spans[i].end_us, out);
+    std::reverse(out.begin(), out.end());
+    // Zero-length segments carry no information.
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const PathSegment& p) {
+                               return p.duration_us() <= 0;
+                             }),
+              out.end());
+    return out;
+  }
+  return out;
+}
+
+std::vector<LabelTime> self_time_by_label(
+    const SpanTree& tree, const std::vector<PathSegment>& path) {
+  std::map<std::string, LabelTime> agg;
+  for (const PathSegment& p : path) {
+    const Span& s = tree.spans[p.span];
+    const std::string label = s.cat + "/" + s.name;
+    LabelTime& lt = agg[label];
+    lt.label = label;
+    lt.us += p.duration_us();
+    ++lt.segments;
+  }
+  std::vector<LabelTime> out;
+  out.reserve(agg.size());
+  for (auto& [_, lt] : agg) out.push_back(std::move(lt));
+  std::sort(out.begin(), out.end(), [](const LabelTime& a, const LabelTime& b) {
+    if (a.us != b.us) return a.us > b.us;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+std::int64_t MigrationBreakdown::sum_in_total_us() const {
+  std::int64_t sum = 0;
+  for (const BreakdownRow& r : rows)
+    if (r.in_total) sum += r.us;
+  return sum;
+}
+
+std::string MigrationBreakdown::table() const {
+  util::Table t({"component", "ms", "% of total"});
+  for (const BreakdownRow& r : rows) {
+    const double pct =
+        total_us > 0
+            ? 100.0 * static_cast<double>(r.us) / static_cast<double>(total_us)
+            : 0.0;
+    std::string name = r.component;
+    if (!r.in_total) name += " *";
+    if (r.count > 0) name += " (n=" + std::to_string(r.count) + ")";
+    t.add_row({name, util::Table::num(static_cast<double>(r.us) / 1000.0, 3),
+               util::Table::num(pct, 1)});
+  }
+  t.add_row({"total (end-to-end)",
+             util::Table::num(static_cast<double>(total_us) / 1000.0, 3),
+             "100.0"});
+  std::string out = t.to_string();
+  out += "  (* overlay: overlaps the components above, not summed)\n";
+  return out;
+}
+
+MigrationBreakdown migration_breakdown(const std::vector<Event>& events,
+                                       std::uint64_t trace_id,
+                                       int first_n_pages) {
+  MigrationBreakdown b;
+  b.trace_id = trace_id;
+  const SpanTree t = build_tree(events, trace_id);
+  const Span* root = t.root_like("mig", "migrate");
+  if (root == nullptr) return b;
+  b.valid = true;
+  b.total_us = root->duration_us();
+
+  // The retroactive partition spans tile [started, resumed] exactly; find
+  // them among the root's children by name.
+  const Span* vm = nullptr;
+  const Span* init = nullptr;
+  const Span* streams = nullptr;
+  const Span* xfer = nullptr;
+  for (std::size_t c : root->children) {
+    const Span& s = t.spans[c];
+    if (s.cat != "mig") continue;
+    if (s.name == "init handshake") init = &s;
+    else if (s.name.rfind("vm ", 0) == 0) vm = &s;
+    else if (s.name == "streams re-attribute") streams = &s;
+    else if (s.name == "transfer+resume") xfer = &s;
+  }
+
+  if (init != nullptr)
+    b.rows.push_back({"init handshake", init->duration_us(), 0, true});
+  if (vm != nullptr) b.rows.push_back({vm->name, vm->duration_us(), 0, true});
+  if (streams != nullptr)
+    b.rows.push_back(
+        {"streams re-attribute", streams->duration_us(), 0, true});
+
+  // Split transfer+resume into the state RPC (the migration call span the
+  // source ran inside that window) and the remainder — install + scheduling
+  // on the target until the process was runnable.
+  if (xfer != nullptr) {
+    std::int64_t rpc_us = 0;
+    for (const Span& s : t.spans) {
+      if (s.cat != "rpc" || s.host != root->host) continue;
+      if (s.name.rfind("call migration", 0) != 0) continue;
+      const std::int64_t lo = std::max(s.begin_us, xfer->begin_us);
+      const std::int64_t hi = std::min(s.end_us, xfer->end_us);
+      if (hi > lo) rpc_us += hi - lo;
+    }
+    rpc_us = std::min(rpc_us, xfer->duration_us());
+    b.rows.push_back({"state RPC (transfer)", rpc_us, 0, true});
+    b.rows.push_back({"resume", xfer->duration_us() - rpc_us, 0, true});
+  }
+
+  // Overlay rows: the freeze window spans vm/streams/transfer; demand-page
+  // cost accrues after the root span already ended.
+  for (std::size_t i : t.roots) {
+    const Span& s = t.spans[i];
+    if (s.cat == "mig" && s.name == "frozen") {
+      b.freeze_us = s.duration_us();
+      b.rows.push_back({"frozen (freeze time)", b.freeze_us, 0, false});
+      break;
+    }
+  }
+
+  // First-N demand pages: total fault-service time of the first N
+  // post-resume demand-page faults on the target — the Sprite-flush
+  // strategy's deferred cost (~0 for whole-copy, which ships everything up
+  // front). Service time, not wall clock, so workload think-time between
+  // faults does not pollute the row.
+  std::vector<const Span*> faults;
+  for (const Span& s : t.spans)
+    if (s.cat == "vm" && s.name == "demand-page" && s.begin_us >= root->end_us)
+      faults.push_back(&s);
+  std::sort(faults.begin(), faults.end(), [](const Span* a, const Span* b2) {
+    if (a->begin_us != b2->begin_us) return a->begin_us < b2->begin_us;
+    return a->id < b2->id;
+  });
+  if (!faults.empty()) {
+    const std::size_t n =
+        std::min(faults.size(), static_cast<std::size_t>(first_n_pages));
+    std::int64_t service_us = 0;
+    for (std::size_t i = 0; i < n; ++i) service_us += faults[i]->duration_us();
+    b.rows.push_back({"first-" + std::to_string(n) + " demand-page faults",
+                      service_us, static_cast<std::int64_t>(n), false});
+  }
+  return b;
+}
+
+}  // namespace sprite::trace::analysis

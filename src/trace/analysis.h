@@ -1,0 +1,134 @@
+// Offline analysis over the registry's event stream: span-tree
+// reconstruction, critical-path extraction, and the migration breakdown the
+// benchmarks print next to the paper's numbers.
+//
+// Everything here is pure — functions take the recorded event vector and
+// return value types — so the benches and tests can analyse a trace without
+// mutating the registry, and the same code can in principle digest a
+// previously exported run.
+//
+// The central object is the span tree of one logical operation (one
+// trace_id): every 'b'/'e' pair whose begin event carries that trace id,
+// wired parent-to-child through the causal `parent` field that
+// ScopedContext/the RPC wire propagated at record time. Cross-host edges are
+// ordinary parent links here; only the Chrome export renders them specially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sprite::trace::analysis {
+
+// One reconstructed span (a matched 'b'/'e' pair).
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 or an id missing from the trace => root
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t pid = -1;
+  std::string cat;
+  std::string name;
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = 0;
+  Args args;                          // begin-side + end-side, concatenated
+  std::vector<std::size_t> children;  // indices into SpanTree::spans
+
+  std::int64_t duration_us() const { return end_us - begin_us; }
+};
+
+// All spans of one trace, in span-id (= creation) order.
+struct SpanTree {
+  std::uint64_t trace_id = 0;
+  std::vector<Span> spans;
+  std::vector<std::size_t> roots;  // indices of parentless spans
+
+  const Span* find(SpanId id) const;
+  // The root matching a cat (and name prefix, if non-empty); nullptr if
+  // absent or ambiguous-free first match wins (span-id order).
+  const Span* root_like(const std::string& cat,
+                        const std::string& name_prefix = "") const;
+};
+
+// Trace ids present in the stream, ascending.
+std::vector<std::uint64_t> trace_ids(const std::vector<Event>& events);
+
+// Builds the span tree for one logical operation. Spans still open at the
+// end of the stream (no 'e') are dropped; spans whose parent id never
+// appears in this trace become roots.
+SpanTree build_tree(const std::vector<Event>& events, std::uint64_t trace_id);
+
+// One segment of a critical path: a half-open interval [begin_us, end_us)
+// attributed to `span` (index into tree.spans). `self` is true when the
+// interval is the span's own time — no child of it was active — and false
+// when it merely brackets the descent into a child (those segments are
+// omitted; only leaf-level self-time is emitted, so segments tile the root's
+// duration exactly).
+struct PathSegment {
+  std::size_t span = 0;
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = 0;
+
+  std::int64_t duration_us() const { return end_us - begin_us; }
+};
+
+// Critical path through `root` (a span id in the tree): the chain of work
+// that determined the operation's end time. Walks backwards from the root's
+// end, at each cursor descending into the child with the latest end time not
+// after the cursor; time no child covers is the parent's self-time. Segments
+// come back in chronological order and sum exactly to the root's duration.
+std::vector<PathSegment> critical_path(const SpanTree& tree, SpanId root);
+
+// Critical-path self-time aggregated by "cat/name", largest first (ties by
+// label). The bench binaries print this as the component table of a
+// forwarded call or a migration.
+struct LabelTime {
+  std::string label;
+  std::int64_t us = 0;
+  int segments = 0;
+};
+std::vector<LabelTime> self_time_by_label(const SpanTree& tree,
+                                          const std::vector<PathSegment>& path);
+
+// ---- Migration breakdown ----
+//
+// The per-component decomposition of one migration (thesis §5: where the
+// time goes). Components flagged `in_total` partition the root span end to
+// end — their sum equals total_us by construction, which the benches CHECK
+// to within 5% as a self-test of the span data. `freeze` and the first-N
+// demand-page window overlap/extend the root and are reported as overlay
+// rows.
+struct BreakdownRow {
+  std::string component;
+  std::int64_t us = 0;
+  std::int64_t count = 0;  // pages, streams, ... 0 when not meaningful
+  bool in_total = false;
+};
+
+struct MigrationBreakdown {
+  std::uint64_t trace_id = 0;
+  bool valid = false;  // false: no migration root span in this trace
+  std::int64_t total_us = 0;   // root span duration (migrate -> resumed)
+  std::int64_t freeze_us = 0;  // the "frozen" overlay span
+  std::vector<BreakdownRow> rows;
+
+  std::int64_t sum_in_total_us() const;
+  // Rendered util::Table: component | ms | % of total.
+  std::string table() const;
+};
+
+// Decomposes the migration in `trace_id`:
+//   init handshake / vm <strategy> / streams re-attribute — the retroactive
+//     partition spans under the root;
+//   state RPC — the portion of the transfer+resume window covered by the
+//     source's migration RPC call span;
+//   resume — the remainder of that window;
+//   frozen — overlay row (overlaps vm/streams/transfer);
+//   first-N demand pages — wall clock from resume to the Nth post-resume
+//     demand-page fault on the target, overlay row.
+MigrationBreakdown migration_breakdown(const std::vector<Event>& events,
+                                       std::uint64_t trace_id,
+                                       int first_n_pages = 8);
+
+}  // namespace sprite::trace::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "util/assert.h"
@@ -15,6 +16,15 @@ namespace {
 // Only one registry at a time may capture kTrace log lines (the same
 // last-wins discipline the log time source uses across Simulators).
 Registry* g_log_sink_owner = nullptr;
+
+// Last-constructed registry owns the CHECK-failure flight dump (same
+// last-wins discipline; tests that build several Simulators get the most
+// recent one's forensics, which is the one that was running).
+Registry* g_flight_owner = nullptr;
+
+void flight_check_hook() {
+  if (g_flight_owner != nullptr) g_flight_owner->dump_flight("CHECK failure");
+}
 
 void json_escape_into(std::string& out, const std::string& s) {
   for (char c : s) {
@@ -91,12 +101,66 @@ void LatencyHistogram::reset() {
 }
 
 // ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::note(std::int64_t ts_us, sim::HostId host,
+                          std::int64_t pid, const char* cat, const char* name,
+                          std::int64_t a0, std::int64_t a1) {
+  ring_[next_] = Entry{ts_us, host, pid, cat, name, a0, a1};
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::tail(std::size_t n) const {
+  const std::size_t have =
+      std::min<std::size_t>(static_cast<std::size_t>(recorded_), ring_.size());
+  n = std::min(n, have);
+  std::vector<Entry> out;
+  out.reserve(n);
+  // next_ points at the oldest entry once the ring has wrapped.
+  std::size_t i = (next_ + ring_.size() - n) % ring_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(ring_[i]);
+    i = (i + 1) % ring_.size();
+  }
+  return out;
+}
+
+std::string FlightRecorder::report(std::size_t n) const {
+  std::string out;
+  char buf[192];
+  for (const Entry& e : tail(n)) {
+    std::snprintf(buf, sizeof buf,
+                  "  [%12.3fms] host=%-3d pid=%-5lld %-14s %-20s %lld %lld\n",
+                  static_cast<double>(e.ts_us) / 1e3, e.host,
+                  static_cast<long long>(e.pid), e.cat, e.name,
+                  static_cast<long long>(e.a0), static_cast<long long>(e.a1));
+    out += buf;
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::fill(ring_.begin(), ring_.end(), Entry{});
+  next_ = 0;
+  recorded_ = 0;
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
 Registry::Registry(std::function<std::int64_t()> now_us)
     : now_us_(std::move(now_us)) {
   SPRITE_CHECK(now_us_ != nullptr);
+  g_flight_owner = this;
+  util::set_check_failure_hook(&flight_check_hook);
+  if (const char* env = std::getenv("SPRITE_FLIGHT_DUMP_ON_VERDICT"))
+    dump_on_down_verdict_ = env[0] != '\0' && env[0] != '0';
 }
 
 Registry::~Registry() {
@@ -104,6 +168,25 @@ Registry::~Registry() {
     util::set_log_trace_sink(nullptr);
     g_log_sink_owner = nullptr;
   }
+  if (g_flight_owner == this) {
+    g_flight_owner = nullptr;
+    util::set_check_failure_hook(nullptr);
+  }
+}
+
+void Registry::dump_flight(const char* why, std::size_t n) const {
+  const std::size_t shown = std::min<std::size_t>(
+      n, std::min<std::size_t>(static_cast<std::size_t>(flight_.recorded()),
+                               flight_.capacity()));
+  std::fprintf(stderr,
+               "--- flight recorder (%s): last %zu of %lld events ---\n", why,
+               shown, static_cast<long long>(flight_.recorded()));
+  const std::string tail = flight_.report(n);
+  std::fwrite(tail.data(), 1, tail.size(), stderr);
+  std::fputs("--- metrics snapshot ---\n", stderr);
+  const std::string metrics = metrics_report();
+  std::fwrite(metrics.data(), 1, metrics.size(), stderr);
+  std::fflush(stderr);
 }
 
 void Registry::set_tracing(bool on) {
@@ -166,27 +249,48 @@ bool Registry::record(Event e) {
   return true;
 }
 
+Context Registry::new_trace() {
+  if (!tracing_) return Context{};
+  return Context{next_trace_++, 0};
+}
+
+SpanId Registry::reserve_span() {
+  if (!tracing_) return 0;
+  return next_span_++;
+}
+
+Context Registry::span_context(SpanId id) const {
+  auto it = open_spans_.find(id);
+  if (it == open_spans_.end()) return Context{};
+  return Context{it->second.trace_id, id};
+}
+
 SpanId Registry::begin_span(std::string cat, std::string name,
                             sim::HostId host, std::int64_t pid, Args args) {
   if (!tracing_) return 0;
   const SpanId id = next_span_++;
   const int lane = lane_for(cat);
-  if (!record(Event{'b', now_us_(), host, pid, id, lane, cat, name,
-                    std::move(args)}))
+  if (!record(Event{'b', now_us_(), host, pid, id, current_.trace_id,
+                    current_.parent_span, lane, cat, name, std::move(args)}))
     return 0;
   open_spans_.emplace(id, OpenSpan{std::move(cat), std::move(name), host,
-                                   pid, lane});
+                                   pid, lane, current_.trace_id});
   return id;
 }
 
 void Registry::end_span(SpanId id, Args args) {
   if (id == 0) return;
   auto it = open_spans_.find(id);
-  if (it == open_spans_.end()) return;  // events were cleared meanwhile
+  if (it == open_spans_.end()) {
+    // Stale id: its begin was discarded by clear_events() (or dropped at the
+    // buffer cap); emitting a dangling 'e' would corrupt the span pairing.
+    counter("trace.span.orphaned").inc();
+    return;
+  }
   OpenSpan sp = std::move(it->second);
   open_spans_.erase(it);
   if (!tracing_) return;
-  record(Event{'e', now_us_(), sp.host, sp.pid, id, sp.lane,
+  record(Event{'e', now_us_(), sp.host, sp.pid, id, 0, 0, sp.lane,
                std::move(sp.cat), std::move(sp.name), std::move(args)});
 }
 
@@ -194,24 +298,28 @@ void Registry::instant(std::string cat, std::string name, sim::HostId host,
                        std::int64_t pid, Args args) {
   if (!tracing_) return;
   const int lane = lane_for(cat);
-  record(Event{'i', now_us_(), host, pid, 0, lane, std::move(cat),
+  record(Event{'i', now_us_(), host, pid, 0, 0, 0, lane, std::move(cat),
                std::move(name), std::move(args)});
 }
 
-void Registry::span_at(std::string cat, std::string name, sim::HostId host,
-                       std::int64_t pid, sim::Time begin, sim::Time end,
-                       Args args) {
-  if (!tracing_) return;
-  const SpanId id = next_span_++;
+SpanId Registry::span_at(std::string cat, std::string name, sim::HostId host,
+                         std::int64_t pid, sim::Time begin, sim::Time end,
+                         Args args, Context parent, SpanId reuse_id) {
+  if (!tracing_) return 0;
+  const SpanId id = reuse_id != 0 ? reuse_id : next_span_++;
   const int lane = lane_for(cat);
-  record(Event{'b', begin.us(), host, pid, id, lane, cat, name,
-               std::move(args)});
-  record(Event{'e', end.us(), host, pid, id, lane, std::move(cat),
+  record(Event{'b', begin.us(), host, pid, id, parent.trace_id,
+               parent.parent_span, lane, cat, name, std::move(args)});
+  record(Event{'e', end.us(), host, pid, id, 0, 0, lane, std::move(cat),
                std::move(name), {}});
+  return id;
 }
 
 void Registry::clear_events() {
   events_.clear();
+  // Spans still open lose their begin event with the clear: drop the ids so
+  // their eventual end_span() cannot emit a dangling 'e' (it lands in the
+  // trace.span.orphaned counter instead).
   open_spans_.clear();
   dropped_ = 0;
 }
@@ -263,6 +371,13 @@ std::string Registry::chrome_json() const {
     out += "\"}}";
   }
 
+  auto hex_id = [](std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+
   for (const auto& e : events_) {
     sep();
     out += "{\"ph\":\"";
@@ -275,17 +390,47 @@ std::string Registry::chrome_json() const {
            ",\"tid\":" + std::to_string(e.lane) +
            ",\"ts\":" + std::to_string(e.ts_us);
     if (e.phase == 'b' || e.phase == 'e') {
-      char idbuf[24];
-      std::snprintf(idbuf, sizeof idbuf, "0x%llx",
-                    static_cast<unsigned long long>(e.id));
-      out += ",\"id\":\"";
-      out += idbuf;
-      out += '"';
+      out += ",\"id\":\"" + hex_id(e.id) + '"';
     } else {
       out += ",\"s\":\"t\"";
     }
-    append_args(out, e.args, e.pid);
+    if (e.phase == 'b' && (e.trace_id != 0 || e.parent != 0)) {
+      Args annotated = e.args;
+      if (e.trace_id != 0)
+        annotated.emplace_back("trace", hex_id(e.trace_id));
+      if (e.parent != 0) annotated.emplace_back("parent", hex_id(e.parent));
+      append_args(out, annotated, e.pid);
+    } else {
+      append_args(out, e.args, e.pid);
+    }
     out += '}';
+  }
+
+  // Causality arrows: each parent/child span edge that crosses hosts becomes
+  // a flow-event pair — 's' anchored at the parent's begin on the parent's
+  // track, 'f' (bp:"e") at the child's begin on the child's track. Emitted
+  // in child-span-id order, so the export stays byte-identical per seed.
+  std::map<SpanId, const Event*> begin_by_id;
+  for (const auto& e : events_)
+    if (e.phase == 'b') begin_by_id.emplace(e.id, &e);
+  for (const auto& [id, child] : begin_by_id) {
+    if (child->parent == 0) continue;
+    auto pit = begin_by_id.find(child->parent);
+    if (pit == begin_by_id.end()) continue;
+    const Event* parent = pit->second;
+    if (parent->host == child->host) continue;
+    const std::string flow_id = hex_id(id);
+    sep();
+    out += "{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"causal\",\"id\":\"" +
+           flow_id + "\",\"pid\":" + std::to_string(chrome_pid(parent->host)) +
+           ",\"tid\":" + std::to_string(parent->lane) +
+           ",\"ts\":" + std::to_string(parent->ts_us) + "}";
+    sep();
+    out += "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"causal\","
+           "\"id\":\"" +
+           flow_id + "\",\"pid\":" + std::to_string(chrome_pid(child->host)) +
+           ",\"tid\":" + std::to_string(child->lane) +
+           ",\"ts\":" + std::to_string(child->ts_us) + "}";
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
@@ -322,6 +467,70 @@ std::string Registry::metrics_report() const {
                    " sum=" + util::Table::num(h.sum())});
   }
   return t.to_string();
+}
+
+std::string Registry::metrics_json() const {
+  std::string out;
+  auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  auto key_fields = [&](const std::pair<std::string, sim::HostId>& key) {
+    std::string s = "\"name\":\"";
+    json_escape_into(s, key.first);
+    s += "\",\"host\":" + std::to_string(static_cast<int>(key.second));
+    return s;
+  };
+
+  out += "{\n\"counters\":[";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{" + key_fields(key) +
+           ",\"value\":" + std::to_string(c.value()) + "}";
+  }
+  out += "\n],\n\"gauges\":[";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{" + key_fields(key) + ",\"value\":" + num(g.value()) + "}";
+  }
+  out += "\n],\n\"histograms\":[";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{" + key_fields(key) +
+           ",\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + num(h.sum()) + ",\"bounds_ms\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i != 0) out += ',';
+      out += num(h.bounds()[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(h.bucket(i));
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+util::Status Registry::write_metrics_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return util::Status(util::Err::kNoEnt, "cannot open " + path);
+  const std::string json = metrics_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size())
+    return util::Status(util::Err::kNoSpace, "short write to " + path);
+  return util::Status::ok();
 }
 
 }  // namespace sprite::trace

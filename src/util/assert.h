@@ -11,10 +11,30 @@
 
 namespace sprite::util {
 
+// Invoked (once) just before a failed CHECK aborts, so a diagnostic layer
+// can dump state — the trace registry installs its flight-recorder dump
+// here. Plain function pointer: this must work mid-crash with no allocation.
+using CheckFailureHook = void (*)();
+
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
+inline void set_check_failure_hook(CheckFailureHook hook) {
+  check_failure_hook() = hook;
+}
+
 [[noreturn]] inline void check_failed(const char* file, int line,
                                       const char* expr, const char* msg) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
                msg[0] ? " — " : "", msg);
+  // Disarm before invoking: the hook itself may trip a CHECK, and a second
+  // failure must fall straight through to abort.
+  if (CheckFailureHook hook = check_failure_hook()) {
+    check_failure_hook() = nullptr;
+    hook();
+  }
   std::abort();
 }
 

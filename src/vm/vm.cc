@@ -202,6 +202,23 @@ void VmManager::touch(const SpacePtr& space, Segment seg, std::int64_t first,
     sim_.after(Time::zero(), [cb = std::move(cb)] { cb(Status::ok()); });
     return;
   }
+  // Span over the whole fault service for this touch (all runs, including
+  // the backing-store reads or copy-on-reference pulls they trigger), so a
+  // migrated process's demand-paging cost is measurable from the trace.
+  if (trace::Registry& tr = sim_.trace(); tr.tracing()) {
+    std::int64_t npages = 0;
+    for (const auto& r : runs) npages += r.second;
+    const trace::SpanId sp =
+        tr.begin_span("vm", "demand-page", self_, -1,
+                      {{"seg", segment_name(seg)},
+                       {"pages", std::to_string(npages)}});
+    cb = [&tr, sp, inner = std::move(cb)](Status s) {
+      tr.end_span(sp, {{"ok", s.is_ok() ? "1" : "0"}});
+      inner(s);
+    };
+  }
+  sim_.trace().flight_note("vm.fault", segment_name(seg), self_, -1,
+                           static_cast<std::int64_t>(runs.size()));
   fault_runs(space, seg, std::move(runs), 0, std::move(cb));
 }
 
@@ -216,7 +233,7 @@ void VmManager::fault_runs(
   const bool backed = !remote && st.in_backing[static_cast<std::size_t>(first)];
   c_faults_->inc(count);
   if (trace::Registry& tr = sim_.trace(); tr.tracing())
-    tr.instant("vm", "demand-page", self_, -1,
+    tr.instant("vm", "page-in run", self_, -1,
                {{"seg", segment_name(seg)},
                 {"first", std::to_string(first)},
                 {"count", std::to_string(count)},
@@ -287,6 +304,19 @@ void VmManager::clear_remote_pager(std::int64_t asid) {
 }
 
 void VmManager::flush_dirty(const SpacePtr& space, StatusCb cb) {
+  // Span over the whole dirty-page flush (every segment's runs and their
+  // file-server writes); nested under whatever operation — typically a
+  // Sprite-flush migration — is ambient.
+  if (trace::Registry& tr = sim_.trace(); tr.tracing()) {
+    const trace::SpanId sp =
+        tr.begin_span("vm", "flush-dirty", self_, -1,
+                      {{"asid", std::to_string(space->asid())}});
+    cb = [&tr, sp, inner = std::move(cb)](Status s) {
+      tr.end_span(sp, {{"ok", s.is_ok() ? "1" : "0"}});
+      inner(s);
+    };
+  }
+  sim_.trace().flight_note("vm.flush", "dirty", self_, -1, space->asid());
   // Flush heap then stack (code is never dirty).
   auto flush_seg = std::make_shared<std::function<void(std::size_t)>>();
   *flush_seg = [this, space,

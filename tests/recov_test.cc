@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "recov/monitor.h"
 #include "rpc/rpc.h"
 #include "sim/network.h"
+#include "trace/trace.h"
 
 namespace sprite {
 namespace {
@@ -194,6 +196,72 @@ TEST(HostMonitorTest, ExhaustedCallParksUnderSuspicionAndResumesOnHeal) {
   EXPECT_TRUE(out.is_ok()) << out.to_string();
   EXPECT_EQ(handler_runs, 1);
   EXPECT_GE(counter(cluster, "rpc.call.unparked", a), 1);
+}
+
+TEST(HostMonitorTest, ParkedCallKeepsCausalContextAcrossResume) {
+  // Same scenario as above, but traced: the call parks under suspicion,
+  // resumes on heal, and the eventual server-side span must still be a
+  // child of the original client call span in the original trace — parking
+  // must not sever or re-root the causal chain.
+  Cluster cluster({.num_workstations = 2, .num_file_servers = 1, .seed = 6});
+  const auto wss = cluster.workstations();
+  const HostId a = wss[0], b = wss[1];
+  trace::Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+
+  cluster.host(b).rpc().register_service(
+      rpc::ServiceId::kLoadShare,
+      [&](HostId, const rpc::Request&,
+          std::function<void(rpc::Reply)> respond) {
+        respond(rpc::Reply{Status::ok(), nullptr});
+      });
+
+  cluster.sim().run_until(Time::sec(2));
+  set_pair_up(cluster, a, b, false);
+
+  const trace::Context ctx = tr.new_trace();
+  bool done = false;
+  {
+    trace::ScopedContext scope(tr, ctx);
+    cluster.host(a).rpc().call(
+        b, rpc::ServiceId::kLoadShare, 0, std::make_shared<ls::GossipReq>(),
+        [&](util::Result<rpc::Reply> r) {
+          EXPECT_TRUE(r.is_ok());
+          done = true;
+        },
+        rpc::CallOpts{.max_retries = 1});
+  }
+
+  cluster.sim().run_until(Time::sec(7));
+  EXPECT_FALSE(done);
+  EXPECT_GE(counter(cluster, "rpc.call.parked", a), 1);
+
+  set_pair_up(cluster, a, b, true);
+  cluster.run_until_done([&] { return done; });
+  EXPECT_GE(counter(cluster, "rpc.call.unparked", a), 1);
+
+  trace::SpanId call_span = 0;
+  std::uint64_t call_trace = 0;
+  int serve_count = 0;
+  trace::SpanId serve_parent = 0;
+  std::uint64_t serve_trace = 0;
+  for (const trace::Event& e : tr.events()) {
+    if (e.phase != 'b' || e.cat != "rpc") continue;
+    if (e.name == "call loadshare" && e.host == a) {
+      call_span = e.id;
+      call_trace = e.trace_id;
+    }
+    if (e.name == "serve loadshare" && e.host == b) {
+      ++serve_count;
+      serve_parent = e.parent;
+      serve_trace = e.trace_id;
+    }
+  }
+  ASSERT_NE(call_span, 0u);
+  EXPECT_EQ(call_trace, ctx.trace_id);
+  EXPECT_EQ(serve_count, 1);  // unpark retransmits; dedup still applies
+  EXPECT_EQ(serve_parent, call_span);
+  EXPECT_EQ(serve_trace, ctx.trace_id);
 }
 
 TEST(HostMonitorTest, DownVerdictFailsParkedCalls) {

@@ -1,0 +1,344 @@
+// Trace validation ("lint") — the CI gate for the observability layer.
+//
+// Two real runs are exported and checked structurally: a traced migration
+// demo, and a seeded fault case (a dropped reply forcing retransmission +
+// dedup). For each export:
+//   * the Chrome JSON parses,
+//   * every 'b' event has a matching 'e' (same id, exactly once),
+//   * every flow pair resolves — each flow-start ('s') has a flow-finish
+//     ('f') with the same flow id and both bind to real events,
+//   * every metric name in the final snapshot matches the
+//     `subsystem.noun.verb` convention.
+// A final sweep greps src/ for counter()/gauge()/histogram() registrations
+// so new metrics cannot drift from the convention unnoticed.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sprite.h"
+#include "proc/script.h"
+#include "rpc/rpc.h"
+#include "sim/fault.h"
+#include "trace/trace.h"
+
+namespace sprite::trace {
+namespace {
+
+using core::SpriteCluster;
+using proc::ScriptBuilder;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// A tiny recursive-descent JSON parser producing just enough structure to
+// lint trace events (objects with string/number fields, arrays). No external
+// dependency; rejects malformed input by returning nullopt-like failure.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  std::string get_str(const std::string& key) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kString ? v->str : "";
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::Kind::kString; return string(out.str);
+      case 't': out.kind = JsonValue::Kind::kBool; return literal("true");
+      case 'f': out.kind = JsonValue::Kind::kBool; return literal("false");
+      case 'n': out.kind = JsonValue::Kind::kNull; return literal("null");
+      default: out.kind = JsonValue::Kind::kNumber; return number(out.num);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u':
+            if (pos_ + 4 >= s_.size()) return false;
+            pos_ += 4;  // keep the escape opaque; lint only needs names
+            out.push_back('?');
+            break;
+          default: out.push_back(s_[pos_]);
+        }
+        ++pos_;
+        continue;
+      }
+      out.push_back(s_[pos_++]);
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The structural lint itself.
+// ---------------------------------------------------------------------------
+
+// `subsystem.noun.verb`: lowercase dotted segments, at least two dots, each
+// segment [a-z0-9_]+.
+bool metric_name_ok(const std::string& name) {
+  static const std::regex re("^[a-z0-9_]+(\\.[a-z0-9_]+){2,}$");
+  return std::regex_match(name, re);
+}
+
+void lint_chrome_json(const Registry& tr) {
+  const std::string json = tr.chrome_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << "chrome_json does not parse";
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  // 'b'/'e' pairing, keyed by (span) id within (pid, cat-thread) is global
+  // here: span ids are globally unique, so pair on id alone.
+  std::map<std::string, int> open;  // id -> balance
+  std::map<std::string, int> flow_start;
+  std::map<std::string, int> flow_finish;
+  std::map<std::string, int> begins_at;  // "pid/tid/ts" -> count, flow anchors
+  for (const JsonValue& e : events->arr) {
+    const std::string ph = e.get_str("ph");
+    if (ph == "b") {
+      ++open[e.get_str("id")];
+      std::ostringstream key;
+      key << e.get("pid")->num << "/" << e.get("tid")->num << "/"
+          << e.get("ts")->num;
+      ++begins_at[key.str()];
+    } else if (ph == "e") {
+      --open[e.get_str("id")];
+    } else if (ph == "s" || ph == "f") {
+      ASSERT_NE(e.get("id"), nullptr);
+      (ph == "s" ? flow_start : flow_finish)[e.get_str("id")]++;
+      // Flow events bind to the event at (pid, tid, ts): one must exist.
+      std::ostringstream key;
+      key << e.get("pid")->num << "/" << e.get("tid")->num << "/"
+          << e.get("ts")->num;
+      EXPECT_GE(begins_at[key.str()], 1)
+          << "flow '" << ph << "' id=" << e.get_str("id")
+          << " does not bind to any span begin";
+    }
+  }
+  for (const auto& [id, bal] : open)
+    EXPECT_EQ(bal, 0) << "unbalanced b/e for span id " << id;
+  for (const auto& [id, n] : flow_start)
+    EXPECT_EQ(flow_finish[id], n) << "flow start without finish, id " << id;
+  for (const auto& [id, n] : flow_finish)
+    EXPECT_EQ(flow_start[id], n) << "flow finish without start, id " << id;
+}
+
+void lint_metric_names(const Registry& tr) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tr.metrics_json()).parse(root))
+      << "metrics_json does not parse";
+  int seen = 0;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* s = root.get(section);
+    ASSERT_NE(s, nullptr) << section;
+    ASSERT_EQ(s->kind, JsonValue::Kind::kArray) << section;
+    for (const JsonValue& m : s->arr) {
+      const std::string metric = m.get_str("name");
+      EXPECT_TRUE(metric_name_ok(metric))
+          << "metric '" << metric << "' violates subsystem.noun.verb";
+      ++seen;
+    }
+  }
+  EXPECT_GT(seen, 0);
+}
+
+// Demo: a traced 3-host migration (the acceptance scenario).
+TEST(TraceLintTest, TracedMigrationDemoExportIsWellFormed) {
+  SpriteCluster cluster({.workstations = 3, .seed = 11,
+                         .enable_load_sharing = false});
+  Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+  ScriptBuilder b;
+  b.act(proc::Touch{vm::Segment::kHeap, 0, 64, true})
+      .compute(Time::sec(2))
+      .exit(0);
+  cluster.install_program("/bin/work", b.image(8, 64, 2));
+  const auto pid = cluster.spawn(cluster.workstation(0), "/bin/work", {});
+  cluster.run_for(Time::msec(500));
+  ASSERT_TRUE(cluster.migrate(pid, cluster.workstation(1)).is_ok());
+  cluster.wait(pid);
+  // Drain in-flight RPCs (exit notifications to home) so the export is a
+  // quiesced run: every span begun has had the chance to end.
+  cluster.run_for(Time::sec(2));
+
+  ASSERT_FALSE(tr.events().empty());
+  lint_chrome_json(tr);
+  lint_metric_names(tr);
+}
+
+// Seeded fault case: a dropped reply causes retransmission + dedup; spans
+// still pair and flows still resolve (no duplicate or orphaned children).
+TEST(TraceLintTest, SeededFaultCaseExportIsWellFormed) {
+  SpriteCluster cluster({.workstations = 3, .seed = 23,
+                         .enable_load_sharing = false});
+  Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+
+  sim::FaultPlan plan(cluster.sim(), cluster.kernel().net());
+  plan.drop_message(rpc::RpcNode::match_reply(cluster.workstation(0)), 1);
+  plan.arm({});
+
+  ScriptBuilder b;
+  b.act(proc::Touch{vm::Segment::kHeap, 0, 32, true})
+      .compute(Time::sec(1))
+      .exit(0);
+  cluster.install_program("/bin/work", b.image(8, 32, 2));
+  const auto pid = cluster.spawn(cluster.workstation(0), "/bin/work", {});
+  cluster.run_for(Time::msec(500));
+  ASSERT_TRUE(cluster.migrate(pid, cluster.workstation(1)).is_ok());
+  cluster.wait(pid);
+  cluster.run_for(Time::sec(2));  // quiesce before export
+
+  lint_chrome_json(tr);
+  lint_metric_names(tr);
+}
+
+// Source sweep: every counter()/gauge()/histogram() registration in src/
+// uses a literal name matching the convention. Catches drift at review
+// speed instead of at dashboard-breakage speed.
+TEST(TraceLintTest, RegisteredMetricNamesFollowConvention) {
+  const std::filesystem::path src =
+      std::filesystem::path(SPRITE_SOURCE_DIR) / "src";
+  ASSERT_TRUE(std::filesystem::exists(src));
+  static const std::regex reg(
+      "(?:counter|gauge|histogram)\\(\\s*\"([^\"]+)\"");
+  int checked = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".cc" && ext != ".h") continue;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    for (std::sregex_iterator it(text.begin(), text.end(), reg), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      EXPECT_TRUE(metric_name_ok(name))
+          << entry.path().string() << ": metric '" << name
+          << "' violates subsystem.noun.verb";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50) << "sweep found suspiciously few registrations";
+}
+
+}  // namespace
+}  // namespace sprite::trace

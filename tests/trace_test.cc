@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,12 @@
 #include "kern/cluster.h"
 #include "proc/script.h"
 #include "proc/table.h"
+#include "rpc/rpc.h"
+#include "sim/cpu.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "trace/analysis.h"
 #include "trace/trace.h"
 
 namespace sprite::trace {
@@ -303,6 +310,283 @@ TEST(TraceIntegrationTest, MigrationRunEmitsLifecycleSpans) {
   const std::string json = tr.chrome_json();
   EXPECT_TRUE(JsonChecker(json).valid());
   EXPECT_NE(json.find("init handshake"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Causal context: ScopedContext, scheduling capture, wire propagation.
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, ScopedContextParentsNewSpans) {
+  reg_.set_tracing(true);
+  const Context root = reg_.new_trace();
+  ASSERT_TRUE(root.valid());
+  SpanId parent = 0;
+  SpanId child = 0;
+  {
+    ScopedContext scope(reg_, root);
+    parent = reg_.begin_span("t", "parent", 0);
+    {
+      ScopedContext inner(reg_, reg_.span_context(parent));
+      child = reg_.begin_span("t", "child", 0);
+      reg_.end_span(child);
+    }
+    reg_.end_span(parent);
+  }
+  EXPECT_FALSE(reg_.current().valid());  // restored on scope exit
+
+  const Event* pb = nullptr;
+  const Event* cb = nullptr;
+  for (const Event& e : reg_.events()) {
+    if (e.phase != 'b') continue;
+    if (e.id == parent) pb = &e;
+    if (e.id == child) cb = &e;
+  }
+  ASSERT_NE(pb, nullptr);
+  ASSERT_NE(cb, nullptr);
+  EXPECT_EQ(pb->trace_id, root.trace_id);
+  EXPECT_EQ(pb->parent, 0u);
+  EXPECT_EQ(cb->trace_id, root.trace_id);
+  EXPECT_EQ(cb->parent, parent);
+
+  // Applying an invalid context is a no-op, not a reset to "no context".
+  {
+    ScopedContext outer(reg_, root);
+    ScopedContext noop(reg_, Context{});
+    EXPECT_EQ(reg_.current().trace_id, root.trace_id);
+  }
+}
+
+TEST_F(RegistryTest, ClearEventsOrphansStaleSpanIds) {
+  reg_.set_tracing(true);
+  const SpanId stale = reg_.begin_span("t", "open-across-clear", 0);
+  ASSERT_NE(stale, 0u);
+  reg_.clear_events();
+  EXPECT_TRUE(reg_.events().empty());
+
+  // Ending a span begun before the clear neither crashes nor emits a
+  // dangling 'e'; it is counted instead.
+  reg_.end_span(stale);
+  EXPECT_TRUE(reg_.events().empty());
+  EXPECT_EQ(reg_.counter_value("trace.span.orphaned"), 1);
+
+  // Fresh spans after the clear pair normally.
+  const SpanId fresh = reg_.begin_span("t", "fresh", 0);
+  reg_.end_span(fresh);
+  ASSERT_EQ(reg_.events().size(), 2u);
+  EXPECT_EQ(reg_.events()[0].phase, 'b');
+  EXPECT_EQ(reg_.events()[1].phase, 'e');
+  EXPECT_EQ(reg_.counter_value("trace.span.orphaned"), 1);
+}
+
+TEST_F(RegistryTest, ReservedSpanCanBeEmittedRetroactively) {
+  reg_.set_tracing(true);
+  const Context trace = reg_.new_trace();
+  const SpanId root = reg_.reserve_span();
+  ASSERT_NE(root, 0u);
+  // A live child recorded while the root exists only as a reservation.
+  SpanId child = 0;
+  {
+    ScopedContext scope(reg_, Context{trace.trace_id, root});
+    child = reg_.begin_span("t", "child", 0);
+    reg_.end_span(child);
+  }
+  const SpanId used = reg_.span_at("t", "root", 0, -1, Time::usec(1),
+                                   Time::usec(9), {}, Context{trace.trace_id, 0},
+                                   root);
+  EXPECT_EQ(used, root);
+  const analysis::SpanTree t = analysis::build_tree(reg_.events(),
+                                                    trace.trace_id);
+  const analysis::Span* r = t.root_like("t", "root");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->children.size(), 1u);
+  EXPECT_EQ(t.spans[r->children[0]].id, child);
+}
+
+TEST_F(RegistryTest, MetricsJsonIsValidAndDeterministic) {
+  reg_.counter("a.b.c", 1).inc(3);
+  reg_.gauge("g.load.avg", 2).set(2.5);
+  reg_.histogram("m.lat.ms", {1.0, 10.0}).record(5.0);
+  const std::string j = reg_.metrics_json();
+  EXPECT_TRUE(JsonChecker(j).valid()) << j;
+  EXPECT_NE(j.find("a.b.c"), std::string::npos);
+  EXPECT_NE(j.find("g.load.avg"), std::string::npos);
+  EXPECT_NE(j.find("m.lat.ms"), std::string::npos);
+  EXPECT_EQ(j, reg_.metrics_json());
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestEntriesInOrder) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 6; ++i) fr.note(i, i, -1, "cat", "note", i * 10, 0);
+  EXPECT_EQ(fr.capacity(), 4u);
+  EXPECT_EQ(fr.recorded(), 6);
+  const auto t = fr.tail(100);
+  ASSERT_EQ(t.size(), 4u);  // oldest two fell off
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].ts_us, static_cast<std::int64_t>(i) + 2);
+  const auto t2 = fr.tail(2);
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_EQ(t2[0].ts_us, 4);
+  EXPECT_EQ(t2[1].ts_us, 5);
+  EXPECT_NE(fr.report(4).find("note"), std::string::npos);
+}
+
+TEST_F(RegistryTest, FlightNotesRecordRegardlessOfTracing) {
+  ASSERT_FALSE(reg_.tracing());
+  now_us_ = 1234;
+  reg_.flight_note("rpc.call", "echo", 1, -1, 2, 0);
+  EXPECT_EQ(reg_.flight().recorded(), 1);
+  const auto t = reg_.flight().tail(1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].ts_us, 1234);
+  EXPECT_EQ(t[0].host, 1);
+  EXPECT_STREQ(t[0].cat, "rpc.call");
+  EXPECT_TRUE(reg_.events().empty());  // forensics are not trace events
+}
+
+TEST(TraceCausalityTest, SimulatorSchedulingCarriesAmbientContext) {
+  sim::Simulator s(1);
+  Registry& tr = s.trace();
+  tr.set_tracing(true);
+  const Context ctx = tr.new_trace();
+  SpanId outer = 0;
+  SpanId child = 0;
+  {
+    ScopedContext scope(tr, ctx);
+    outer = tr.begin_span("t", "outer", 0);
+    ScopedContext inner(tr, tr.span_context(outer));
+    s.after(Time::msec(1), [&] {
+      // The continuation runs long after both scopes unwound; the context
+      // captured at scheduling time must be ambient again here.
+      child = tr.begin_span("t", "child", 0);
+      tr.end_span(child);
+      tr.end_span(outer);
+    });
+  }
+  EXPECT_FALSE(tr.current().valid());
+  s.run();
+  ASSERT_NE(child, 0u);
+  for (const Event& e : tr.events()) {
+    if (e.phase != 'b' || e.id != child) continue;
+    EXPECT_EQ(e.trace_id, ctx.trace_id);
+    EXPECT_EQ(e.parent, outer);
+  }
+}
+
+struct TraceEchoBody : rpc::Message {
+  std::int64_t wire_bytes() const override { return 16; }
+};
+
+// A retransmitted-then-deduplicated RPC must not spawn a second server-side
+// child span: the retransmission carries the same context and the dedup
+// cache replays the cached reply without re-dispatching.
+TEST(TraceCausalityTest, RetransmittedThenDedupedCallHasOneServeSpan) {
+  sim::Costs costs;
+  sim::Simulator s(1);
+  sim::Network net(s, costs);
+  std::vector<std::unique_ptr<sim::Cpu>> cpus;
+  std::vector<std::unique_ptr<rpc::RpcNode>> nodes;
+  for (int i = 0; i < 2; ++i) cpus.push_back(std::make_unique<sim::Cpu>(s, costs));
+  for (int i = 0; i < 2; ++i) {
+    const sim::HostId id = net.attach([&nodes, i](const sim::Packet& p) {
+      nodes[static_cast<std::size_t>(i)]->handle_packet(p);
+    });
+    ASSERT_EQ(id, i);
+    nodes.push_back(std::make_unique<rpc::RpcNode>(
+        s, net, *cpus[static_cast<std::size_t>(i)], id, costs));
+  }
+  nodes[1]->register_service(
+      rpc::ServiceId::kEcho,
+      [](sim::HostId, const rpc::Request&,
+         std::function<void(rpc::Reply)> respond) {
+        respond(rpc::Reply{util::Status::ok(), nullptr});
+      });
+
+  // Lose the first reply to host 0: the server has served, the client
+  // retransmits, the server's dedup cache answers the duplicate.
+  sim::FaultPlan plan(s, net);
+  plan.drop_message(rpc::RpcNode::match_reply(0), 1);
+  plan.arm({});
+
+  Registry& tr = s.trace();
+  tr.set_tracing(true);
+  const Context ctx = tr.new_trace();
+  bool done = false;
+  {
+    ScopedContext scope(tr, ctx);
+    nodes[0]->call(1, rpc::ServiceId::kEcho, 0,
+                   std::make_shared<TraceEchoBody>(),
+                   [&](util::Result<rpc::Reply> r) {
+                     EXPECT_TRUE(r.is_ok());
+                     done = true;
+                   });
+  }
+  s.run();
+  ASSERT_TRUE(done);
+  EXPECT_GE(nodes[0]->retransmissions(), 1);
+  EXPECT_EQ(nodes[1]->requests_served(), 1);  // dedup hit did not re-serve
+
+  SpanId call_span = 0;
+  int serve_begins = 0;
+  SpanId serve_parent = 0;
+  std::uint64_t serve_trace = 0;
+  for (const Event& e : tr.events()) {
+    if (e.phase != 'b' || e.cat != "rpc") continue;
+    if (e.name == "call echo") call_span = e.id;
+    if (e.name == "serve echo") {
+      ++serve_begins;
+      serve_parent = e.parent;
+      serve_trace = e.trace_id;
+    }
+  }
+  EXPECT_EQ(serve_begins, 1);
+  ASSERT_NE(call_span, 0u);
+  EXPECT_EQ(serve_parent, call_span);
+  EXPECT_EQ(serve_trace, ctx.trace_id);
+}
+
+TEST(TraceIntegrationTest, MigrationTraceSpansHostsWithFlowEvents) {
+  SpriteCluster cluster({.workstations = 3, .seed = 11,
+                         .enable_load_sharing = false});
+  Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+  run_migration_workload(cluster);
+
+  // One migration trace whose spans live on both the source and the target.
+  const auto ids = analysis::trace_ids(tr.events());
+  ASSERT_FALSE(ids.empty());
+  std::uint64_t mig_trace = 0;
+  for (std::uint64_t id : ids)
+    if (analysis::build_tree(tr.events(), id).root_like("mig", "migrate"))
+      mig_trace = id;
+  ASSERT_NE(mig_trace, 0u);
+
+  const auto ws0 = cluster.workstation(0);
+  const auto ws1 = cluster.workstation(1);
+  bool on_source = false;
+  bool on_target = false;
+  for (const Event& e : tr.events()) {
+    if (e.phase != 'b' || e.trace_id != mig_trace) continue;
+    if (e.host == ws0) on_source = true;
+    if (e.host == ws1) on_target = true;
+  }
+  EXPECT_TRUE(on_source);
+  EXPECT_TRUE(on_target);
+
+  // The export carries cross-host causality as Chrome flow ('s'/'f') pairs.
+  const std::string json = tr.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+
+  // And the analysis layer can decompose the migration: the in-total
+  // components tile the end-to-end span.
+  const auto bd = analysis::migration_breakdown(tr.events(), mig_trace);
+  ASSERT_TRUE(bd.valid);
+  EXPECT_GT(bd.total_us, 0);
+  EXPECT_NEAR(static_cast<double>(bd.sum_in_total_us()),
+              static_cast<double>(bd.total_us),
+              0.05 * static_cast<double>(bd.total_us));
+  EXPECT_GT(bd.freeze_us, 0);
 }
 
 TEST(TraceIntegrationTest, SameSeedProducesByteIdenticalTraceJson) {
