@@ -1,0 +1,169 @@
+#include "ckpt/image.h"
+
+#include "util/codec.h"
+
+namespace sprite::ckpt {
+
+namespace {
+
+void put_runs(util::Encoder& e, const CkptSegRuns& sr) {
+  e.put_i64(sr.pages);
+  e.put_u64(sr.runs.size());
+  for (const auto& [first, count] : sr.runs) {
+    e.put_i64(first);
+    e.put_i64(count);
+  }
+}
+
+CkptSegRuns get_runs(util::Decoder& d) {
+  CkptSegRuns sr;
+  sr.pages = d.i64();
+  const std::uint64_t n = d.u64();
+  for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+    const std::int64_t first = d.i64();
+    const std::int64_t count = d.i64();
+    sr.runs.emplace_back(first, count);
+  }
+  return sr;
+}
+
+}  // namespace
+
+std::int64_t CkptSegRuns::captured() const {
+  std::int64_t n = 0;
+  for (const auto& [first, count] : runs) {
+    (void)first;
+    n += count;
+  }
+  return n;
+}
+
+fs::Bytes CkptMeta::encode() const {
+  util::Encoder e;
+  e.put_i64(kMagic);
+  e.put_i64(kVersion);
+  e.put_i64(static_cast<std::int64_t>(pid));
+  e.put_i64(seq);
+  e.put_u64(chain.size());
+  for (std::int64_t s : chain) e.put_i64(s);
+  e.put_i64(incarnation);
+  e.put_i64(static_cast<std::int64_t>(ppid));
+  e.put_i32(home);
+  e.put_str(exe_path);
+  e.put_u64(args.size());
+  for (const auto& a : args) e.put_str(a);
+  e.put_bytes(program_state);
+  e.put_i32(view_err);
+  e.put_str(view_msg);
+  e.put_i64(view_rv);
+  e.put_i32(view_aux);
+  e.put_bytes(view_data);
+  e.put_bool(view_is_child);
+  e.put_str(view_text);
+  e.put_i64(remaining_compute_us);
+  e.put_i64(pause_remaining_us);
+  e.put_bool(blocked_in_wait);
+  e.put_bool(kill_pending);
+  e.put_i32(kill_sig);
+  e.put_i32(next_fd);
+  e.put_i64(spawned_at_us);
+  e.put_u64(streams.size());
+  for (const auto& s : streams) {
+    e.put_i32(s.fd);
+    e.put_str(s.path);
+    e.put_i64(s.offset);
+    e.put_bool(s.flags.read);
+    e.put_bool(s.flags.write);
+    e.put_bool(s.flags.create);
+    e.put_bool(s.flags.truncate);
+    e.put_bool(s.flags.no_cache);
+  }
+  e.put_i64(code_pages);
+  put_runs(e, heap);
+  put_runs(e, stack);
+  return e.take();
+}
+
+util::Result<CkptMeta> CkptMeta::decode(const fs::Bytes& raw) {
+  util::Decoder d(raw);
+  if (d.i64() != kMagic || d.i64() != kVersion)
+    return {util::Err::kInval, "checkpoint meta: bad magic/version"};
+  CkptMeta m;
+  m.pid = static_cast<proc::Pid>(d.i64());
+  m.seq = d.i64();
+  const std::uint64_t nchain = d.u64();
+  for (std::uint64_t i = 0; i < nchain && d.ok(); ++i) m.chain.push_back(d.i64());
+  m.incarnation = d.i64();
+  m.ppid = static_cast<proc::Pid>(d.i64());
+  m.home = d.i32();
+  m.exe_path = d.str();
+  const std::uint64_t nargs = d.u64();
+  for (std::uint64_t i = 0; i < nargs && d.ok(); ++i) m.args.push_back(d.str());
+  m.program_state = d.blob();
+  m.view_err = d.i32();
+  m.view_msg = d.str();
+  m.view_rv = d.i64();
+  m.view_aux = d.i32();
+  m.view_data = d.blob();
+  m.view_is_child = d.boolean();
+  m.view_text = d.str();
+  m.remaining_compute_us = d.i64();
+  m.pause_remaining_us = d.i64();
+  m.blocked_in_wait = d.boolean();
+  m.kill_pending = d.boolean();
+  m.kill_sig = d.i32();
+  m.next_fd = d.i32();
+  m.spawned_at_us = d.i64();
+  const std::uint64_t nstreams = d.u64();
+  for (std::uint64_t i = 0; i < nstreams && d.ok(); ++i) {
+    CkptStream s;
+    s.fd = d.i32();
+    s.path = d.str();
+    s.offset = d.i64();
+    s.flags.read = d.boolean();
+    s.flags.write = d.boolean();
+    s.flags.create = d.boolean();
+    s.flags.truncate = d.boolean();
+    s.flags.no_cache = d.boolean();
+    m.streams.push_back(std::move(s));
+  }
+  m.code_pages = d.i64();
+  m.heap = get_runs(d);
+  m.stack = get_runs(d);
+  if (!d.ok() || !d.at_end())
+    return {util::Err::kInval, "checkpoint meta: truncated or oversized"};
+  if (m.chain.empty() || m.chain.back() != m.seq)
+    return {util::Err::kInval, "checkpoint meta: malformed chain"};
+  return m;
+}
+
+fs::Bytes encode_head(std::int64_t seq) {
+  util::Encoder e;
+  e.put_i64(CkptMeta::kMagic);
+  e.put_i64(seq);
+  return e.take();
+}
+
+util::Result<std::int64_t> decode_head(const fs::Bytes& raw) {
+  util::Decoder d(raw);
+  if (d.i64() != CkptMeta::kMagic)
+    return {util::Err::kInval, "checkpoint head: bad magic"};
+  const std::int64_t seq = d.i64();
+  if (!d.ok() || !d.at_end() || seq <= 0)
+    return {util::Err::kInval, "checkpoint head: malformed"};
+  return seq;
+}
+
+std::string head_path(proc::Pid pid) {
+  return "/ckpt/p" + std::to_string(pid) + ".head";
+}
+
+std::string meta_path(proc::Pid pid, std::int64_t seq) {
+  return "/ckpt/p" + std::to_string(pid) + ".meta." + std::to_string(seq);
+}
+
+std::string pages_path(proc::Pid pid, std::int64_t seq) {
+  return "/ckpt/p" + std::to_string(pid) + ".pages." + std::to_string(seq);
+}
+
+}  // namespace sprite::ckpt

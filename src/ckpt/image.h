@@ -1,0 +1,108 @@
+// Checkpoint image format (src/ckpt/).
+//
+// A process's checkpoint lives on the shared file system as a chain of
+// numbered captures plus a tiny head file naming the latest committed one:
+//
+//   /ckpt/p<pid>.meta.<seq>    serialized CkptMeta (this header)
+//   /ckpt/p<pid>.pages.<seq>   captured page contents, in capture order
+//   /ckpt/p<pid>.head          latest committed seq (rewritten last)
+//
+// A capture is either a full base (chain == {seq}) or an increment whose
+// meta lists every older member of its chain. The pages file holds only the
+// pages this capture wrote (full base: every page that differs from
+// zero-fill; increment: pages dirtied since the previous capture), so the
+// final memory image is reconstructed at restart by overlaying the chain's
+// capture lists oldest-first — no cumulative page map is ever stored.
+//
+// Commit protocol: pages, then meta, then head, all written through the
+// cache-bypassing path. The head rewrite is the commit point; a crash at
+// any earlier step leaves the head naming the previous complete capture, so
+// a checkpoint chain is never lost to a crash mid-checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fs/types.h"
+#include "proc/program.h"
+#include "sim/ids.h"
+#include "util/status.h"
+
+namespace sprite::ckpt {
+
+// One open descriptor, by durable identity: enough to rebuild the stream on
+// any host via FsClient::open_recorded. Only path-recoverable streams are
+// checkpointable (see FsClient::recoverable_by_path).
+struct CkptStream {
+  int fd = -1;
+  std::string path;
+  std::int64_t offset = 0;
+  fs::OpenFlags flags;
+};
+
+// Pages one capture wrote for one segment, as (first, count) runs over the
+// segment's page index space. Runs appear in ascending order; their
+// concatenation (heap runs, then stack runs) is the pages-file layout.
+struct CkptSegRuns {
+  std::int64_t pages = 0;  // segment size, for create_space at restart
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;
+  std::int64_t captured() const;
+};
+
+struct CkptMeta {
+  static constexpr std::int64_t kMagic = 0x53435250'434B5054;  // "SCRP CKPT"
+  static constexpr std::int64_t kVersion = 1;
+
+  // Identity and chain position.
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t seq = 0;
+  std::vector<std::int64_t> chain;  // oldest (base) .. seq, inclusive
+  std::int64_t incarnation = 0;     // epoch of the copy that captured this
+
+  // PCB record (the migration TransferReq's durable subset).
+  proc::Pid ppid = proc::kInvalidPid;
+  sim::HostId home = sim::kInvalidHost;
+  std::string exe_path;
+  std::vector<std::string> args;
+  fs::Bytes program_state;  // Program::encode_state at the frozen safe point
+  // Last-action result (ProcessView), replayed into the rebuilt PCB.
+  int view_err = 0;
+  std::string view_msg;
+  std::int64_t view_rv = 0;
+  int view_aux = 0;
+  fs::Bytes view_data;
+  bool view_is_child = false;
+  std::string view_text;
+  // Blocking detail, mirrored from the frozen PCB.
+  std::int64_t remaining_compute_us = 0;
+  std::int64_t pause_remaining_us = 0;
+  bool blocked_in_wait = false;
+  bool kill_pending = false;
+  int kill_sig = 0;
+  int next_fd = 3;
+  std::int64_t spawned_at_us = 0;
+
+  // Open streams and memory.
+  std::vector<CkptStream> streams;
+  std::int64_t code_pages = 0;
+  CkptSegRuns heap;
+  CkptSegRuns stack;
+
+  std::int64_t captured_pages() const { return heap.captured() + stack.captured(); }
+
+  fs::Bytes encode() const;
+  static util::Result<CkptMeta> decode(const fs::Bytes& raw);
+};
+
+// Head file payload: just the committed seq, magic-framed.
+fs::Bytes encode_head(std::int64_t seq);
+util::Result<std::int64_t> decode_head(const fs::Bytes& raw);
+
+// Image pathnames, shared by capture, restart, and compaction.
+std::string head_path(proc::Pid pid);
+std::string meta_path(proc::Pid pid, std::int64_t seq);
+std::string pages_path(proc::Pid pid, std::int64_t seq);
+
+}  // namespace sprite::ckpt

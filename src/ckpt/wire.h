@@ -1,0 +1,66 @@
+// Wire messages for the checkpoint/restart service (rpc::ServiceId::kCkpt).
+//
+// Three conversations run over this service:
+//   - register: a host that committed a checkpoint tells the process's home
+//     machine that an image exists (the home's restart table is the index
+//     the crash-recovery policy consults);
+//   - restart: the home machine asks a chosen host to rebuild a process
+//     from its on-disk image under a new incarnation epoch;
+//   - depart / kill-stale: the eviction fast path hands a frozen process to
+//     the home by image instead of by migration, and the home reaps a stale
+//     incarnation that reappears after a partition heals.
+#pragma once
+
+#include <cstdint>
+
+#include "proc/program.h"
+#include "rpc/rpc.h"
+#include "sim/ids.h"
+
+namespace sprite::ckpt {
+
+enum class CkptOp : int {
+  kRegister = 1,  // checkpointing host -> home: image committed
+  kRestart,       // home -> restoring host: rebuild from image
+  kDepart,        // evicting host -> home: frozen image committed, take over
+  kKillStale,     // home -> healed host: reap a superseded incarnation
+};
+
+// A checkpoint chain head was committed for `pid`: sequence `seq`, captured
+// on `host` by the copy running under `incarnation`.
+struct RegisterReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t seq = 0;
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t incarnation = 0;
+  std::int64_t wire_bytes() const override { return 40; }
+};
+
+// Rebuild `pid` from its latest committed image. `incarnation` is the fresh
+// epoch the home's pid authority granted this copy; the restored process
+// claims its location with it (older copies then fail kStale).
+struct RestartReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t incarnation = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+// Eviction fast path: `host` holds `pid` frozen with checkpoint `seq`
+// committed, and wants to drop its copy. The home bumps the incarnation and
+// restarts the process elsewhere from the image.
+struct DepartReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t seq = 0;
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t wire_bytes() const override { return 32; }
+};
+
+// A copy of `pid` older than `incarnation` is running on the destination
+// host (it was partitioned while the home restarted the process): reap it.
+struct KillStaleReq : rpc::Message {
+  proc::Pid pid = proc::kInvalidPid;
+  std::int64_t incarnation = 0;
+  std::int64_t wire_bytes() const override { return 24; }
+};
+
+}  // namespace sprite::ckpt

@@ -304,17 +304,7 @@ void FsClient::read(const StreamPtr& s, std::int64_t len, ReadCb cb) {
           remote_read(s->file, offset, len, std::move(k));
         }
       });
-  (*attempt)([this, s, attempt, done = std::move(done)](
-                 util::Result<Bytes> r) mutable {
-    if (r.is_ok() || r.status().err() != Err::kStale)
-      return done(std::move(r));
-    // The server rebooted since this stream was opened: reopen by path and
-    // retry once. A second failure propagates to the caller.
-    recover_stale(s, [attempt, done = std::move(done)](Status rs) mutable {
-      if (!rs.is_ok()) return done(rs);
-      (*attempt)(std::move(done));
-    });
-  });
+  retry_once_on_stale<Bytes>(s, std::move(attempt), std::move(done));
 }
 
 void FsClient::cached_read(const StreamPtr& s, std::int64_t offset,
@@ -490,15 +480,7 @@ void FsClient::write(const StreamPtr& s, Bytes data, WriteCb cb) {
           remote_write(s->file, offset, *payload, std::move(k));
         }
       });
-  (*attempt)([this, s, attempt, done = std::move(done)](
-                 util::Result<std::int64_t> r) mutable {
-    if (r.is_ok() || r.status().err() != Err::kStale)
-      return done(std::move(r));
-    recover_stale(s, [attempt, done = std::move(done)](Status rs) mutable {
-      if (!rs.is_ok()) return done(rs);
-      (*attempt)(std::move(done));
-    });
-  });
+  retry_once_on_stale<std::int64_t>(s, std::move(attempt), std::move(done));
 }
 
 void FsClient::cached_write(const StreamPtr& s, std::int64_t offset,
@@ -1064,7 +1046,18 @@ StreamPtr FsClient::import_stream(const ExportedStream& e) {
 // ---------------------------------------------------------------------------
 
 void FsClient::recover_stale(const StreamPtr& s, StatusCb cb) {
-  if (s->type != FileType::kRegular || s->path.empty() || s->server_offset) {
+  if (recoverable_by_path(*s)) {
+    c_stale_reopens_->inc();
+    sim_.trace().flight_note("fs.reopen", "stale", rpc_.host(), -1,
+                             s->file.server, s->file.ino);
+    if (trace::Registry& tr = sim_.trace(); tr.tracing())
+      tr.instant("fs", "stale reopen", rpc_.host(), -1, {{"path", s->path}});
+  }
+  reopen_by_path(s, std::move(cb));
+}
+
+void FsClient::reopen_by_path(const StreamPtr& s, StatusCb cb) {
+  if (!recoverable_by_path(*s)) {
     // Pipes and pdevs are volatile kernel objects — the crash destroyed
     // them. A shadow (server-managed) offset was likewise memory-only; its
     // position is unrecoverable, so pretending to reopen would silently
@@ -1074,11 +1067,6 @@ void FsClient::recover_stale(const StreamPtr& s, StatusCb cb) {
     });
     return;
   }
-  c_stale_reopens_->inc();
-  sim_.trace().flight_note("fs.reopen", "stale", rpc_.host(), -1,
-                           s->file.server, s->file.ino);
-  if (trace::Registry& tr = sim_.trace(); tr.tracing())
-    tr.instant("fs", "stale reopen", rpc_.host(), -1, {{"path", s->path}});
   // Dirty blocks cached here survive and stay dirty: they are flushed under
   // the new generation once the reopen installs it.
   auto it = files_.find(s->file);
@@ -1095,6 +1083,17 @@ void FsClient::recover_stale(const StreamPtr& s, StatusCb cb) {
     s->cacheable = fresh->cacheable;
     s->size_hint = std::max(s->size_hint, fresh->size_hint);
     cb(Status::ok());
+  });
+}
+
+void FsClient::open_recorded(const std::string& path, OpenFlags flags,
+                             std::int64_t offset, OpenCb cb) {
+  flags.truncate = false;  // never destroy data during recovery
+  flags.create = false;
+  open(path, flags, [offset, cb = std::move(cb)](util::Result<StreamPtr> r) {
+    if (!r.is_ok()) return cb(std::move(r));
+    (*r)->offset = offset;
+    cb(std::move(r));
   });
 }
 

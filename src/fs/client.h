@@ -129,6 +129,28 @@ class FsClient {
       std::function<void(util::Result<std::pair<StreamPtr, StreamPtr>>)>;
   void create_pipe(PipeCb cb);
 
+  // ---- Reopen-by-path recovery ----
+  // Shared by staleness recovery (Err::kStale after a server reboot) and
+  // checkpoint restart (src/ckpt/), which rebuilds streams on a host where
+  // the original open attribution never existed.
+
+  // Whether a stream's identity (pathname) is enough to rebuild it. Pipes
+  // and pdevs are volatile kernel objects, and a shadow (server-managed)
+  // offset was memory-only: none can be recovered by path.
+  static bool recoverable_by_path(const Stream& s) {
+    return s.type == FileType::kRegular && !s.path.empty() && !s.server_offset;
+  }
+
+  // Reopens `s` by its recorded pathname with destructive flags stripped and
+  // adopts the fresh handle/generation into the existing Stream object. The
+  // access position is untouched. Fails kStale when unrecoverable.
+  void reopen_by_path(const StreamPtr& s, StatusCb cb);
+
+  // Builds a stream from recorded identity (checkpoint restart): opens
+  // `path` with truncate/create stripped and restores the access position.
+  void open_recorded(const std::string& path, OpenFlags flags,
+                     std::int64_t offset, OpenCb cb);
+
   // ---- Migration support ----
   // Moves one stream's open attribution to `dst` and packages its state.
   // `shared_on_source` must be true when another process remaining on this
@@ -220,6 +242,28 @@ class FsClient {
   // into `s`, and reports success so the caller can retry once. Pipes,
   // pdevs, and shadow-offset streams are unrecoverable.
   void recover_stale(const StreamPtr& s, StatusCb cb);
+  // Runs `(*attempt)(k)`; if it fails kStale, recovers the stream by path
+  // and retries once. A second failure propagates. Shared by read()/write()
+  // so the stale-retry policy lives in one place.
+  template <typename T>
+  void retry_once_on_stale(
+      const StreamPtr& s,
+      std::shared_ptr<std::function<void(std::function<void(util::Result<T>)>)>>
+          attempt,
+      std::function<void(util::Result<T>)> done) {
+    (*attempt)([this, s, attempt, done = std::move(done)](
+                   util::Result<T> r) mutable {
+      if (r.is_ok() || r.status().err() != util::Err::kStale)
+        return done(std::move(r));
+      // The server rebooted since this stream was opened: reopen by path
+      // and retry once. A second failure propagates to the caller.
+      recover_stale(s, [attempt,
+                        done = std::move(done)](util::Status rs) mutable {
+        if (!rs.is_ok()) return done(rs);
+        (*attempt)(std::move(done));
+      });
+    });
+  }
   std::int64_t new_group_id();
   void touch_lru(FileId id, std::int64_t blk);
   void enforce_capacity();

@@ -1,5 +1,6 @@
 #include "kern/cluster.h"
 
+#include "ckpt/manager.h"
 #include "migration/manager.h"
 #include "proc/table.h"
 #include "util/assert.h"
@@ -30,6 +31,9 @@ Host::Host(Cluster& cluster, sim::HostId id, bool is_file_server)
   mig_ = std::make_unique<mig::MigrationManager>(*this);
   mig_->register_services();
   procs_->set_migrator(mig_.get());
+  ckpt_ = std::make_unique<ckpt::CkptManager>(*this);
+  ckpt_->register_services();
+  procs_->set_restarter(ckpt_.get());
   if (is_file_server) {
     fs_server_ = std::make_unique<fs::FsServer>(cluster.sim(), *cpu_, *rpc_,
                                                 costs);
@@ -43,6 +47,7 @@ Host::Host(Cluster& cluster, sim::HostId id, bool is_file_server)
   monitor_->add_interest_provider([this](std::vector<sim::HostId>& out) {
     procs_->collect_peer_interest(out);
     mig_->collect_peer_interest(out);
+    ckpt_->collect_peer_interest(out);
     fs_client_->collect_peer_interest(out);
   });
   monitor_->start();
@@ -60,6 +65,7 @@ void Host::crash_reset() {
   // Order: consumers before providers, so nothing re-registers state in a
   // subsystem that is about to be wiped.
   monitor_->crash_reset();
+  ckpt_->crash_reset();
   procs_->crash_reset();
   mig_->crash_reset();
   fs_client_->crash_reset();
@@ -74,6 +80,7 @@ void Host::crash_reset() {
 void Host::boot() {
   up_ = true;
   monitor_->start();
+  ckpt_->boot();
 }
 
 void Host::peer_crashed(sim::HostId peer) {
@@ -109,6 +116,7 @@ Cluster::Cluster(Config config)
 
   // Standard directories every experiment relies on.
   host(file_servers_[0]).fs_server()->mkdir_p("/swap");
+  host(file_servers_[0]).fs_server()->mkdir_p("/ckpt");
   host(file_servers_[0]).fs_server()->mkdir_p("/bin");
   host(file_servers_[0]).fs_server()->mkdir_p("/tmp");
 

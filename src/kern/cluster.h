@@ -34,6 +34,9 @@ class ProcTable;
 namespace sprite::mig {
 class MigrationManager;
 }
+namespace sprite::ckpt {
+class CkptManager;
+}
 
 namespace sprite::kern {
 
@@ -62,6 +65,7 @@ class Host {
   vm::VmManager& vm() { return *vm_; }
   proc::ProcTable& procs() { return *procs_; }
   mig::MigrationManager& mig() { return *mig_; }
+  ckpt::CkptManager& ckpt() { return *ckpt_; }
 
   // ---- User-input tracking (idle-host detection reads this) ----
   // Called by the user-activity model whenever the simulated user types or
@@ -104,6 +108,7 @@ class Host {
   std::unique_ptr<vm::VmManager> vm_;
   std::unique_ptr<proc::ProcTable> procs_;
   std::unique_ptr<mig::MigrationManager> mig_;
+  std::unique_ptr<ckpt::CkptManager> ckpt_;
   sim::Time last_input_;
   std::function<void()> input_observer_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/manager.h"
 #include "kern/cluster.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -486,6 +487,7 @@ void MigrationManager::send_transfer(std::uint64_t token,
   body->kill_pending = pcb->kill_pending;
   body->kill_sig = pcb->kill_sig;
   body->next_fd = pcb->next_fd;
+  body->incarnation = pcb->incarnation;
   body->forward_file_calls = pcb->forward_file_calls;
   if (pcb->program != nullptr) {
     auto box = std::make_shared<ProgramBox>();
@@ -510,8 +512,23 @@ void MigrationManager::send_transfer(std::uint64_t token,
                 // Reclaim the program image before thawing locally.
                 if (body->box && body->box->program)
                   it->second.pcb->program = std::move(body->box->program);
-                return fail(token,
-                            r.is_ok() ? r->status : r.status());
+                const Status why = r.is_ok() ? r->status : r.status();
+                if (why.err() == Err::kStale) {
+                  // The home granted the pid to a newer incarnation (a
+                  // checkpoint restart won the race) while this copy was
+                  // frozen in flight. Thawing it would fork the process:
+                  // reap it instead — exactly one incarnation survives.
+                  Outgoing og = std::move(it->second);
+                  outgoing_.erase(it);
+                  c_failed_->inc();
+                  host_.cluster().sim().trace().flight_note(
+                      "mig.out", "stale_reaped", self_,
+                      static_cast<std::int64_t>(og.pcb->pid));
+                  host_.procs().reap_stale_incarnation(og.pcb->pid);
+                  og.cb(why);
+                  return;
+                }
+                return fail(token, why);
               }
               Outgoing og = std::move(it->second);
               outgoing_.erase(it);
@@ -640,7 +657,7 @@ void MigrationManager::evict_all_foreign(std::function<void(int)> cb) {
   prog->pending = static_cast<int>(foreign.size());
   auto shared_cb = std::make_shared<std::function<void(int)>>(std::move(cb));
   for (const auto& pcb : foreign) {
-    migrate(pcb, pcb->home, [this, prog, shared_cb](Status s) {
+    auto done = [this, prog, shared_cb](Status s) {
       // On failure the process was thawed and resumed in place (fail());
       // the owner keeps suffering but the process survives.
       if (s.is_ok()) {
@@ -648,7 +665,20 @@ void MigrationManager::evict_all_foreign(std::function<void(int)> cb) {
         c_evictions_->inc();
       }
       if (--prog->pending == 0) (*shared_cb)(prog->evicted);
-    });
+    };
+    // Checkpoint fast path (opt-in): commit an incremental image at
+    // local-write cost and hand the process to its home by reference
+    // instead of shipping the whole address space. Any failure falls back
+    // to an ordinary migration home.
+    if (host_.ckpt().evict_via_checkpoint()) {
+      host_.ckpt().checkpoint_and_depart(
+          pcb, [this, pcb, done](Status s) {
+            if (s.is_ok()) return done(s);
+            migrate(pcb, pcb->home, done);
+          });
+      continue;
+    }
+    migrate(pcb, pcb->home, done);
   }
 }
 
@@ -843,6 +873,7 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
   pcb->kill_pending = req.kill_pending;
   pcb->kill_sig = req.kill_sig;
   pcb->next_fd = req.next_fd;
+  pcb->incarnation = req.incarnation;
   pcb->forward_file_calls = req.forward_file_calls;
   if (req.box) pcb->program = std::move(req.box->program);
 
@@ -875,16 +906,45 @@ void MigrationManager::handle_transfer(HostId src, const TransferReq& req,
     (*respond_sp)(Reply{why, nullptr});
   };
 
-  auto finish_install = [this, pcb, respond_sp]() mutable {
+  auto finish_install = [this, pcb, respond_sp, box = req.box]() mutable {
     // Update the home machine before the process can run (wait-notifies and
     // signals must find the new location).
     auto upd = std::make_shared<proc::UpdateLocationReq>();
     upd->pid = pcb->pid;
     upd->host = self_;
+    upd->incarnation = pcb->incarnation;
     host_.rpc().call(
         pcb->home, ServiceId::kProc,
         static_cast<int>(proc::ProcOp::kUpdateLocation), upd,
-        [this, pcb, respond_sp](util::Result<Reply>) mutable {
+        [this, pcb, respond_sp, box](util::Result<Reply> ur) mutable {
+          // A kStale refusal means a newer incarnation claimed the pid (a
+          // checkpoint restart raced this migration and won): this copy
+          // must not run. Dismantle it and report the refusal — the source
+          // then reaps its frozen copy too. Transport failures fall
+          // through: location repair on first contact handles those, as
+          // before.
+          if (ur.is_ok() && ur->status.err() == Err::kStale) {
+            if (box && pcb->program) box->program = std::move(pcb->program);
+            cor_sources_.erase(pcb->pid);
+            std::vector<fs::StreamPtr> to_close;
+            for (auto& [fd, s] : pcb->fds)
+              if (--s->local_refs == 0) to_close.push_back(s);
+            pcb->fds.clear();
+            for (auto& s : to_close) host_.fs().close(s, [](Status) {});
+            if (pcb->space) {
+              host_.vm().destroy_space(pcb->space, [](Status) {});
+              pcb->space = nullptr;
+            }
+            host_.cluster().sim().trace().flight_note(
+                "mig.in", "stale_refused", self_,
+                static_cast<std::int64_t>(pcb->pid));
+            if (trace::Registry& tr = host_.cluster().sim().trace();
+                tr.tracing())
+              tr.instant("mig", "transfer refused: stale incarnation", self_,
+                         static_cast<std::int64_t>(pcb->pid));
+            (*respond_sp)(Reply{ur->status, nullptr});
+            return;
+          }
           c_in_->inc();
           host_.cluster().sim().trace().flight_note(
               "mig.in", "resumed", self_,

@@ -64,6 +64,10 @@ struct TransferReq : rpc::Message {
   bool kill_pending = false;
   int kill_sig = 0;
   int next_fd = 3;
+  // Incarnation epoch the process runs under (see Pcb::incarnation). The
+  // target's kUpdateLocation claim carries it, so a migration racing a
+  // checkpoint restart loses cleanly (kStale) instead of forking the pid.
+  std::int64_t incarnation = 0;
   // Remote-UNIX comparator: the process's file calls are forwarded home
   // (no streams ride along; they stayed at home).
   bool forward_file_calls = false;

@@ -32,6 +32,11 @@ struct Pcb {
   sim::HostId home = sim::kInvalidHost;
   sim::HostId current = sim::kInvalidHost;
   ProcState state = ProcState::kRunnable;
+  // Incarnation epoch under the home's pid authority. Bumped by the home
+  // when it restarts the process from a checkpoint; a copy carrying an
+  // older epoch (a late-thawing migration, a partitioned survivor) is
+  // stale and must die rather than run alongside the restarted one.
+  std::int64_t incarnation = 0;
 
   // The "registers + user memory": the running program and its last-action
   // results. Moved wholesale by migration.

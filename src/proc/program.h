@@ -179,6 +179,17 @@ class Program {
 
   // Deep copy for fork (the child continues from the same program state).
   virtual std::unique_ptr<Program> clone() const = 0;
+
+  // ---- Checkpoint support (src/ckpt/) ----
+  // A checkpointable program serializes its internal state — the "register
+  // and user memory contents" a checkpoint image must preserve — and a
+  // fresh instance built by the same ProgramImage factory restores from it.
+  virtual bool checkpointable() const { return false; }
+  virtual fs::Bytes encode_state() const { return {}; }
+  virtual util::Status decode_state(const fs::Bytes& /*state*/) {
+    return util::Status(util::Err::kNotSupported,
+                        "program is not checkpointable");
+  }
 };
 
 // An executable image: how /bin paths map to runnable Programs plus default

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "proc/program.h"
+#include "util/codec.h"
 
 namespace sprite::proc {
 
@@ -55,6 +56,49 @@ class ScriptProgram : public Program {
   std::unique_ptr<Program> clone() const override {
     auto copy = std::make_unique<ScriptProgram>(*this);
     return copy;
+  }
+
+  // ---- Checkpoint support ----
+  // The script position plus everything a step can observe: the next step
+  // index, the locals, and the observation trace. The step list itself is
+  // code, not state — the restore side rebuilds it from the executable's
+  // ProgramImage factory, exactly as demand-paged text comes from the
+  // backing file rather than the checkpoint image.
+  bool checkpointable() const override { return true; }
+  fs::Bytes encode_state() const override {
+    util::Encoder e;
+    e.put_i32(index_);
+    e.put_u64(ctx_.locals.size());
+    for (const auto& [k, v] : ctx_.locals) {
+      e.put_str(k);
+      e.put_i64(v);
+    }
+    e.put_u64(ctx_.trace.size());
+    for (const auto& s : ctx_.trace) e.put_str(s);
+    return e.take();
+  }
+  util::Status decode_state(const fs::Bytes& state) override {
+    util::Decoder d(state);
+    const int index = d.i32();
+    std::map<std::string, std::int64_t> locals;
+    const std::uint64_t nlocals = d.u64();
+    for (std::uint64_t i = 0; i < nlocals && d.ok(); ++i) {
+      std::string k = d.str();
+      const std::int64_t v = d.i64();
+      locals.emplace(std::move(k), v);
+    }
+    std::vector<std::string> trace;
+    const std::uint64_t ntrace = d.u64();
+    for (std::uint64_t i = 0; i < ntrace && d.ok(); ++i)
+      trace.push_back(d.str());
+    if (!d.ok() || !d.at_end())
+      return util::Status(util::Err::kInval, "corrupt script state");
+    index_ = index;
+    ctx_.locals = std::move(locals);
+    ctx_.trace = std::move(trace);
+    ctx_.view = nullptr;
+    ctx_.jump_to = -1;
+    return util::Status::ok();
   }
 
   // Program-state inspection for tests (the "user memory" of the process).

@@ -148,6 +148,18 @@ void ProcTable::set_home_record_location(Pid pid, HostId where) {
   if (it != home_records_.end()) it->second.current = where;
 }
 
+std::int64_t ProcTable::home_record_incarnation(Pid pid) const {
+  auto it = home_records_.find(pid);
+  return it == home_records_.end() ? 0 : it->second.incarnation;
+}
+
+util::Result<std::int64_t> ProcTable::bump_incarnation(Pid pid) {
+  auto it = home_records_.find(pid);
+  if (it == home_records_.end() || !it->second.alive)
+    return {Err::kSrch, "no live home record to reincarnate"};
+  return ++it->second.incarnation;
+}
+
 bool ProcTable::owns(const PcbPtr& pcb) const {
   auto it = procs_.find(pcb->pid);
   return it != procs_.end() && it->second == pcb && pcb->current == self_;
@@ -971,7 +983,12 @@ void ProcTable::freeze(const PcbPtr& pcb, std::function<void()> cb) {
   pcb->freeze_waiter = std::move(cb);
 }
 
-void ProcTable::remove(Pid pid) { procs_.erase(pid); }
+void ProcTable::remove(Pid pid) {
+  procs_.erase(pid);
+  if (restarter_) restarter_->note_departed(pid);
+}
+
+void ProcTable::home_crash_exit(Pid pid) { home_exit(pid, kHostCrashExitStatus); }
 
 void ProcTable::install_and_resume(const PcbPtr& pcb) {
   pcb->current = self_;
@@ -1050,12 +1067,17 @@ void ProcTable::peer_crashed(HostId peer) {
   for (auto& p : orphans) reap_on_peer_crash(p);
 
   // Home records of processes that were executing on the dead host: they
-  // died with it. home_exit unblocks waiters and fires exit observers with
-  // the crash status.
+  // died with it. The checkpoint layer gets first claim — a restart from a
+  // checkpoint image keeps the record alive under a new incarnation.
+  // Otherwise home_exit unblocks waiters and fires exit observers with the
+  // crash status.
   std::vector<Pid> died;
   for (auto& [pid, rec] : home_records_)
     if (rec.alive && rec.current == peer) died.push_back(pid);
-  for (Pid pid : died) home_exit(pid, kHostCrashExitStatus);
+  for (Pid pid : died) {
+    if (restarter_ && restarter_->try_restart(pid, peer)) continue;
+    home_exit(pid, kHostCrashExitStatus);
+  }
 }
 
 void ProcTable::collect_peer_interest(std::vector<sim::HostId>& out) const {
@@ -1063,6 +1085,18 @@ void ProcTable::collect_peer_interest(std::vector<sim::HostId>& out) const {
     if (p->home != self_) out.push_back(p->home);
   for (const auto& [pid, rec] : home_records_)
     if (rec.alive && rec.current != self_) out.push_back(rec.current);
+}
+
+void ProcTable::reap_stale_incarnation(Pid pid) {
+  auto p = find(pid);
+  if (!p) return;
+  if (trace::Registry& tr = host_.cluster().sim().trace(); tr.tracing())
+    tr.instant("proc", "killed: stale incarnation", self_,
+               static_cast<std::int64_t>(pid));
+  // Same teardown as losing the home machine: release local resources and
+  // do NOT notify the home — its record already belongs to the restarted
+  // incarnation.
+  reap_on_peer_crash(p);
 }
 
 void ProcTable::reap_on_peer_crash(const PcbPtr& pcb) {
@@ -1268,6 +1302,8 @@ void ProcTable::home_exit(Pid pid, int status) {
   rec.alive = false;
   rec.current = sim::kInvalidHost;
   rec.exit_status = status;
+  // The checkpoint layer drops any chain it kept for this pid.
+  if (restarter_) restarter_->note_home_exit(pid);
   // Release any streams parked here by the forwarding comparator.
   for (auto& [fd, s] : rec.resident_streams) {
     if (--s->local_refs == 0) host_.fs().close(s, [](Status) {});
@@ -1446,6 +1482,13 @@ void ProcTable::handle_proc_rpc(HostId, const Request& req,
     case ProcOp::kUpdateLocation: {
       auto body = rpc::body_cast<UpdateLocationReq>(req.body);
       SPRITE_CHECK(body != nullptr);
+      // Exactly-one-incarnation guard: a copy carrying an older epoch than
+      // the home record lost a race with a checkpoint restart. Refusing the
+      // update makes the stale copy kill itself instead of installing.
+      if (body->incarnation < home_record_incarnation(body->pid)) {
+        respond(Reply{Status(Err::kStale, "superseded incarnation"), nullptr});
+        return;
+      }
       set_home_record_location(body->pid, body->host);
       respond(Reply{Status::ok(), nullptr});
       return;

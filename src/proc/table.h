@@ -38,6 +38,25 @@ namespace sprite::proc {
 // (128 + SIGKILL, the convention a kill -9 would produce).
 inline constexpr int kHostCrashExitStatus = 137;
 
+// Interface the checkpoint module implements (same decoupling pattern as
+// MigratorIface): lets the home machine's process table offer a dead
+// process to the checkpoint layer before declaring it lost.
+class RestarterIface {
+ public:
+  virtual ~RestarterIface() = default;
+  // A home record's process was executing on `dead_host` when the monitor
+  // declared it down. Return true to take ownership: a checkpoint restart
+  // is under way and the record must stay alive; false falls back to the
+  // crash-exit path (kHostCrashExitStatus).
+  virtual bool try_restart(Pid pid, sim::HostId dead_host) = 0;
+  // The home record was retired (normal exit, kill, or crash-exit): any
+  // checkpoint chain for the pid is garbage from now on.
+  virtual void note_home_exit(Pid /*pid*/) {}
+  // The PCB left this host (migrated away or departed): local chain
+  // knowledge is stale — the next hosting kernel re-reads the image head.
+  virtual void note_departed(Pid /*pid*/) {}
+};
+
 // Interface the migration module implements; keeps proc/ decoupled from
 // migration/ (which depends on proc/).
 class MigratorIface {
@@ -64,6 +83,9 @@ class ProcTable {
   // The migration module installs itself here (may stay null in tests that
   // exercise proc/ alone; migrate-self then fails kNotSupported).
   void set_migrator(MigratorIface* m) { migrator_ = m; }
+  // The checkpoint module installs itself here (optional; without it a dead
+  // host's processes are simply declared exited).
+  void set_restarter(RestarterIface* r) { restarter_ = r; }
 
   // ---- Process creation and observation ----
   // Starts a fresh process on this host (its home). The executable must be
@@ -81,6 +103,7 @@ class ProcTable {
   std::vector<PcbPtr> foreign_processes() const;  // migrated-in
   bool home_record_alive(Pid pid) const;
   sim::HostId home_record_location(Pid pid) const;
+  std::int64_t home_record_incarnation(Pid pid) const;
 
   // Registry-backed (trace/trace.h); the struct is a refreshed view.
   struct Stats {
@@ -106,6 +129,19 @@ class ProcTable {
   // Updates the home record's location field (local form; the RPC form is
   // ProcOp::kUpdateLocation).
   void set_home_record_location(Pid pid, sim::HostId where);
+
+  // ---- Hooks for the checkpoint module (this host as home machine) ----
+  // Advances the home record's incarnation epoch and returns the new value.
+  // Called before a checkpoint restart: only a copy carrying the new epoch
+  // may claim the process's location from now on (older ones get kStale).
+  util::Result<std::int64_t> bump_incarnation(Pid pid);
+  // Destroys a local PCB that the home has superseded with a restarted
+  // incarnation (detected after a partition heals). Local resources are
+  // released; the home is NOT notified — its record already moved on.
+  void reap_stale_incarnation(Pid pid);
+  // Retires a home record with the crash exit status (checkpoint recovery
+  // gave up on a restart: the process is as dead as if never checkpointed).
+  void home_crash_exit(Pid pid);
 
   // Continues a process after externally-managed state changes (used by the
   // migration module after exec-time image construction).
@@ -148,6 +184,9 @@ class ProcTable {
     sim::HostId current = sim::kInvalidHost;
     bool alive = true;
     int exit_status = 0;
+    // Incarnation epoch (see Pcb::incarnation); the home's copy is the
+    // authority, bumped by checkpoint restarts.
+    std::int64_t incarnation = 0;
     std::vector<Pid> children;                   // live children
     std::deque<std::pair<Pid, int>> zombies;     // exited, unreaped
     bool waiter_registered = false;
@@ -213,6 +252,7 @@ class ProcTable {
   std::map<Pid, HomeRecord> home_records_;
   std::uint32_t next_seq_ = 1;
   MigratorIface* migrator_ = nullptr;
+  RestarterIface* restarter_ = nullptr;
 
   // Registry-backed metrics (trace/trace.h) and the legacy struct view.
   trace::Counter* c_spawns_;

@@ -103,7 +103,11 @@ struct SignalReq : rpc::Message {
 struct UpdateLocationReq : rpc::Message {
   Pid pid = kInvalidPid;
   sim::HostId host = sim::kInvalidHost;
-  std::int64_t wire_bytes() const override { return 24; }
+  // Incarnation epoch of the copy claiming the new location. The home
+  // rejects (kStale) updates older than its record's epoch, so a stale copy
+  // racing a checkpoint restart kills itself instead of installing.
+  std::int64_t incarnation = 0;
+  std::int64_t wire_bytes() const override { return 32; }
 };
 
 struct HostNameRep : rpc::Message {

@@ -23,6 +23,7 @@ const char* service_name(ServiceId id) {
     case ServiceId::kLoadShare: return "loadshare";
     case ServiceId::kPdev: return "pdev";
     case ServiceId::kRecov: return "recov";
+    case ServiceId::kCkpt: return "ckpt";
   }
   return "?";
 }

@@ -58,6 +58,7 @@ enum class ServiceId : int {
   kLoadShare,    // host-selection protocols
   kPdev,         // pseudo-device request forwarding
   kRecov,        // failure-detection echoes (src/recov/monitor.h)
+  kCkpt,         // checkpoint/restart coordination (src/ckpt/)
 };
 const char* service_name(ServiceId id);
 

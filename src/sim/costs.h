@@ -110,6 +110,20 @@ struct Costs {
   std::int64_t mig_pcb_bytes = 4096;
   std::int64_t mig_per_stream_bytes = 256;
 
+  // ---- Checkpoint/restart (src/ckpt/) ----
+  // CPU to serialize / deserialize the PCB record and page maps on capture
+  // and restart (sibling of the migration encapsulation costs).
+  Time ckpt_capture_cpu = Time::msec(18);
+  Time ckpt_restore_cpu = Time::msec(16);
+  // Autocheckpoint policy defaults: scan period, capture when this much
+  // time passed since the last capture or this many pages were dirtied.
+  Time ckpt_auto_interval = Time::sec(30);
+  std::int64_t ckpt_dirty_threshold_pages = 256;
+  // Incremental checkpoints chained to one full base; after this many
+  // increments the next capture writes a fresh base and compacts the old
+  // chain away.
+  int ckpt_chain_max = 4;
+
   // ---- Load sharing ----
   // migd's CPU per request it serves (queue management, fairness checks,
   // logging). Calibrated with pdev_wakeup so one migd transaction lands

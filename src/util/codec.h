@@ -1,0 +1,95 @@
+// Minimal binary codec for durable kernel images (checkpoint metadata).
+//
+// Fixed-width little-endian fields, length-prefixed strings/blobs. The
+// decoder never throws: underflow latches !ok() and further reads return
+// zero values, so callers validate once at the end — the idiom errno-style
+// kernels use for pulling structs off untrusted disk blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sprite::util {
+
+class Encoder {
+ public:
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_i32(std::int32_t v) { put_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void put_bool(bool v) { out_.push_back(v ? 1 : 0); }
+  void put_str(const std::string& s) {
+    put_u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void put_bytes(const std::vector<std::uint8_t>& b) {
+    put_u64(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(in_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(i64()); }
+  bool boolean() {
+    if (!need(1)) return false;
+    return in_[pos_++] != 0;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!need(n)) return {};
+    std::string s(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = u64();
+    if (!need(n)) return {};
+    std::vector<std::uint8_t> b(
+        in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+        in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return b;
+  }
+
+  // False once any read ran past the end; data decoded after that point is
+  // garbage and the whole record must be rejected.
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == in_.size(); }
+
+ private:
+  bool need(std::uint64_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sprite::util

@@ -34,6 +34,10 @@ std::int64_t SegmentState::dirty_pages() const {
   return std::count(dirty.begin(), dirty.end(), true);
 }
 
+std::int64_t SegmentState::ckpt_dirty_pages() const {
+  return std::count(ckpt_dirty.begin(), ckpt_dirty.end(), true);
+}
+
 std::int64_t SpaceDescriptor::total_pages() const {
   std::int64_t n = 0;
   for (const auto& s : segments) n += s.pages;
@@ -103,6 +107,7 @@ void VmManager::create_space(const std::string& exe_path,
     st.in_backing.assign(static_cast<std::size_t>(st.pages),
                          seg == Segment::kCode);
     st.in_remote.assign(static_cast<std::size_t>(st.pages), false);
+    st.ckpt_dirty.assign(static_cast<std::size_t>(st.pages), false);
   }
   open_backings(space, /*create_swap=*/true, std::move(cb));
 }
@@ -123,6 +128,10 @@ void VmManager::adopt_space(const SpaceDescriptor& desc, SpaceCb cb) {
                        ? std::vector<bool>(static_cast<std::size_t>(d.pages),
                                            false)
                        : d.in_remote;
+    st.ckpt_dirty = d.ckpt_dirty.empty()
+                        ? std::vector<bool>(static_cast<std::size_t>(d.pages),
+                                            false)
+                        : d.ckpt_dirty;
   }
   open_backings(space, /*create_swap=*/false, std::move(cb));
 }
@@ -175,10 +184,13 @@ void VmManager::touch(const SpacePtr& space, Segment seg, std::int64_t first,
   if (write && seg == Segment::kCode)
     return cb(Status(Err::kAccess, "write to code segment"));
 
-  // Dirty marking applies to the whole range on writes.
+  // Dirty marking applies to the whole range on writes. The checkpoint
+  // plane is set in lockstep but only a capture clears it (see vm.h).
   if (write) {
-    for (std::int64_t p = first; p < first + count; ++p)
+    for (std::int64_t p = first; p < first + count; ++p) {
       st.dirty[static_cast<std::size_t>(p)] = true;
+      st.ckpt_dirty[static_cast<std::size_t>(p)] = true;
+    }
   }
 
   // Group non-resident pages into runs with the same page source
@@ -405,8 +417,30 @@ SpaceDescriptor VmManager::describe(const SpacePtr& space) const {
     out.dirty = st.dirty;
     out.in_backing = st.in_backing;
     out.in_remote = st.in_remote;
+    out.ckpt_dirty = st.ckpt_dirty;
   }
   return d;
+}
+
+std::int64_t VmManager::ckpt_dirty_pages(const SpacePtr& space) const {
+  std::int64_t n = 0;
+  for (auto seg : kAllSegments) n += space->segment(seg).ckpt_dirty_pages();
+  return n;
+}
+
+void VmManager::clear_ckpt_dirty(const SpacePtr& space) {
+  for (auto seg : kAllSegments) {
+    SegmentState& st = space->segment(seg);
+    st.ckpt_dirty.assign(static_cast<std::size_t>(st.pages), false);
+  }
+}
+
+void VmManager::note_staged(const SpacePtr& space, Segment seg,
+                            std::int64_t first, std::int64_t count) {
+  SegmentState& st = space->segment(seg);
+  SPRITE_CHECK(first >= 0 && count >= 0 && first + count <= st.pages);
+  for (std::int64_t p = first; p < first + count; ++p)
+    st.in_backing[static_cast<std::size_t>(p)] = true;
 }
 
 void VmManager::release_space(SpacePtr space, StatusCb cb) {

@@ -46,10 +46,16 @@ struct SegmentState {
   // Copy-on-reference: page must be pulled from the migration source host
   // rather than from backing store (Accent-style residual dependency).
   std::vector<bool> in_remote;
+  // Checkpoint dirty tracking (src/ckpt/): set on every write alongside
+  // `dirty`, but cleared only when a checkpoint captures the page — flushes
+  // clear `dirty` without clearing this, so an incremental checkpoint sees
+  // exactly the pages written since the previous capture.
+  std::vector<bool> ckpt_dirty;
 
   std::int64_t resident_pages() const;
   std::int64_t remote_pages() const;
   std::int64_t dirty_pages() const;
+  std::int64_t ckpt_dirty_pages() const;
 };
 
 // Serializable description of an address space, shipped by migration.
@@ -63,6 +69,9 @@ struct SpaceDescriptor {
     std::vector<bool> dirty;
     std::vector<bool> in_backing;
     std::vector<bool> in_remote;
+    // Carried across migration so an incremental-checkpoint chain stays
+    // valid when the process moves between captures.
+    std::vector<bool> ckpt_dirty;
   };
   std::array<Seg, 3> segments;
 
@@ -140,6 +149,16 @@ class VmManager {
                                          std::int64_t count, StatusCb cb)>;
   void set_remote_pager(const SpacePtr& space, RemotePager pager);
   void clear_remote_pager(std::int64_t asid);
+
+  // ---- Checkpoint support (src/ckpt/) ----
+  // Pages written since the last checkpoint capture, across all segments.
+  std::int64_t ckpt_dirty_pages(const SpacePtr& space) const;
+  // A checkpoint captured the space: resets the checkpoint-dirty plane.
+  void clear_ckpt_dirty(const SpacePtr& space);
+  // Checkpoint restart staged page contents into the swap backing files;
+  // marks them present so demand-paging reads them instead of zero-filling.
+  void note_staged(const SpacePtr& space, Segment seg, std::int64_t first,
+                   std::int64_t count);
 
   // Crash support: address spaces die with their PCBs (proc/table.cc owns
   // those); the manager's only volatile state is the pager table.

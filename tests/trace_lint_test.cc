@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/manager.h"
 #include "core/sprite.h"
 #include "proc/script.h"
+#include "proc/table.h"
 #include "rpc/rpc.h"
 #include "sim/fault.h"
 #include "trace/trace.h"
@@ -338,6 +340,76 @@ TEST(TraceLintTest, RegisteredMetricNamesFollowConvention) {
     }
   }
   EXPECT_GT(checked, 50) << "sweep found suspiciously few registrations";
+}
+
+// Checkpoint metric inventory: every ckpt.* name the subsystem documents
+// must actually be registered (and lint-clean) after a checkpoint +
+// crash-recovery run, and the flight recorder must hold the capture and
+// restart instants. Catches silent renames that would orphan dashboards.
+TEST(TraceLintTest, CheckpointMetricsRegisteredAndFlightNoted) {
+  SpriteCluster cluster({.workstations = 3, .seed = 7,
+                         .enable_load_sharing = false});
+  Registry& tr = cluster.sim().trace();
+  tr.set_tracing(true);
+  ScriptBuilder b;
+  b.act(proc::Touch{vm::Segment::kHeap, 0, 32, true})
+      .compute(Time::sec(20))
+      .exit(0);
+  cluster.install_program("/bin/ckwork", b.image(8, 32, 2));
+  const auto pid = cluster.spawn(cluster.workstation(0), "/bin/ckwork", {});
+  cluster.run_for(Time::msec(500));
+  ASSERT_TRUE(cluster.migrate(pid, cluster.workstation(1)).is_ok());
+  cluster.run_for(Time::msec(500));
+
+  auto& runner = cluster.host(cluster.workstation(1));
+  auto pcb = runner.procs().find(pid);
+  ASSERT_TRUE(pcb != nullptr);
+  bool ck_done = false;
+  runner.ckpt().checkpoint(pcb, [&](util::Status s) {
+    ASSERT_TRUE(s.is_ok()) << s.to_string();
+    ck_done = true;
+  });
+  cluster.kernel().run_until_done([&] { return ck_done; });
+  cluster.run_for(Time::msec(200));
+  cluster.kernel().crash_host(cluster.workstation(1));
+  cluster.run_for(Time::sec(60));  // down verdict + restart + completion
+
+  // Every documented ckpt.* metric is present in the export.
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tr.metrics_json()).parse(root));
+  std::map<std::string, bool> want = {
+      {"ckpt.capture.completed", false}, {"ckpt.capture.failed", false},
+      {"ckpt.capture.full_base", false}, {"ckpt.capture.incremental", false},
+      {"ckpt.capture.declined", false},  {"ckpt.page.captured", false},
+      {"ckpt.restart.completed", false}, {"ckpt.restart.failed", false},
+      {"ckpt.page.restored", false},     {"ckpt.chain.compacted", false},
+      {"ckpt.auto.triggered", false},    {"ckpt.depart.completed", false},
+      {"ckpt.stale.reaped", false},      {"ckpt.register.received", false},
+      {"ckpt.capture.total_ms", false},  {"ckpt.restart.total_ms", false},
+  };
+  for (const char* section : {"counters", "histograms"}) {
+    const JsonValue* s = root.get(section);
+    ASSERT_NE(s, nullptr);
+    for (const JsonValue& m : s->arr) {
+      auto it = want.find(m.get_str("name"));
+      if (it != want.end()) it->second = true;
+    }
+  }
+  for (const auto& [name, seen] : want)
+    EXPECT_TRUE(seen) << "ckpt metric not registered: " << name;
+
+  // The always-on flight recorder holds the capture and restart events.
+  bool captured = false, restarted = false;
+  for (const auto& n : tr.flight().tail(4096)) {
+    const std::string cat = n.cat;
+    if (cat == "ckpt.capture") captured = true;
+    if (cat == "ckpt.restart") restarted = true;
+  }
+  EXPECT_TRUE(captured) << "no ckpt.capture flight note";
+  EXPECT_TRUE(restarted) << "no ckpt.restart flight note";
+
+  lint_chrome_json(tr);
+  lint_metric_names(tr);
 }
 
 }  // namespace
