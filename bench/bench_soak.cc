@@ -1,0 +1,145 @@
+// bench_soak: long-horizon multi-user soak (workload engine over faults,
+// partitions, and autocheckpoint).
+//
+// The headline run drives a simulated week of diurnal multi-user load
+// (>= 1000 user sessions) through a 24-workstation cluster while a rotating
+// fault plan crashes workstations, partitions trios off the network, and
+// autocheckpoint keeps batch work restartable. It reports the paper's
+// summary numbers — utilization recovered by migration, owner-return
+// eviction-latency percentiles, foreign-process residency — and ends with
+// the incarnation audit: the bench exits nonzero if a single process
+// incarnation was lost or duplicated.
+//
+// Flags:
+//   --days N           simulated horizon in days (default 7)
+//   --users N          concurrent user population (default 72)
+//   --hosts N          workstations (default 24)
+//   --seed N           master seed (default 1)
+//   --quick            CI smoke shape: 6 hours, 24 users, 8 hosts
+//   --no-faults        disable the crash/partition schedule
+//   --replay-check     record the run, replay it, and require the replayed
+//                      re-recording to be byte-identical
+//   --metrics-out F    write the final metrics snapshot as JSON
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "workload/soak.h"
+
+using sprite::sim::Time;
+using sprite::wl::SoakHarness;
+using sprite::wl::SoakOptions;
+using sprite::wl::SoakReport;
+
+namespace {
+
+long flag_long(int argc, char** argv, const std::string& flag, long dflt) {
+  const std::string v = bench::flag_arg(argc, argv, flag);
+  return v.empty() ? dflt : std::strtol(v.c_str(), nullptr, 10);
+}
+
+bool flag_set(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i)
+    if (argv[i] == flag) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = flag_set(argc, argv, "--quick");
+  SoakOptions opts;
+  opts.workstations =
+      static_cast<int>(flag_long(argc, argv, "--hosts", quick ? 8 : 24));
+  opts.seed = static_cast<std::uint64_t>(flag_long(argc, argv, "--seed", 1));
+  opts.sessions.users =
+      static_cast<int>(flag_long(argc, argv, "--users", quick ? 24 : 72));
+  opts.sessions.horizon =
+      quick ? Time::hours(6)
+            : Time::hours(24 * flag_long(argc, argv, "--days", 7));
+  opts.faults = !flag_set(argc, argv, "--no-faults");
+  if (quick) {
+    opts.crash_period = Time::hours(1);
+    opts.partition_period = Time::hours(2);
+    // The long-batch tail tops out at 10 simulated minutes; a 10-minute
+    // autockpt interval would never fire inside a 6-hour smoke.
+    opts.ckpt_interval = Time::minutes(2);
+  }
+  opts.engine.record = flag_set(argc, argv, "--replay-check");
+
+  bench::header(
+      "E16: long-horizon multi-user soak",
+      "migration recovers idle-workstation CPU for weeks at a stretch while "
+      "owners reclaim their machines in about a second");
+
+  std::printf("horizon %.0f h, %d users on %d workstations, seed %llu, "
+              "faults %s\n\n",
+              opts.sessions.horizon.h(), opts.sessions.users,
+              opts.workstations, static_cast<unsigned long long>(opts.seed),
+              opts.faults ? "on" : "off");
+
+  SoakHarness harness(opts);
+  const SoakReport report = harness.run();
+  std::printf("%s\n", report.to_string().c_str());
+
+  const std::string metrics = bench::metrics_out_arg(argc, argv);
+  if (!metrics.empty()) {
+    const sprite::util::Status s =
+        harness.cluster().sim().trace().write_metrics_json(metrics);
+    if (s.is_ok())
+      std::printf("\nmetrics: -> %s\n", metrics.c_str());
+    else
+      std::printf("\nmetrics: write failed: %s\n", s.to_string().c_str());
+  }
+
+  int rc = 0;
+  if (!report.audit.ok()) {
+    std::printf("\nAUDIT FAILED: %lld lost, %lld duplicated\n",
+                static_cast<long long>(report.audit.lost),
+                static_cast<long long>(report.audit.duplicated));
+    for (const auto& p : report.audit.problems)
+      std::printf("  %s\n", p.c_str());
+    rc = 1;
+  }
+  if (report.workload.sessions_begun < (quick ? 50 : 1000)) {
+    std::printf("\nFAILED: only %lld sessions over the horizon\n",
+                static_cast<long long>(report.workload.sessions_begun));
+    rc = 1;
+  }
+
+  if (opts.engine.record) {
+    auto bytes = harness.take_recorded_trace();
+    auto parsed = sprite::wl::decode_trace(bytes);
+    if (!parsed.is_ok()) {
+      std::printf("\nREPLAY-CHECK FAILED: recorded trace does not decode\n");
+      return 1;
+    }
+    SoakOptions ropts = opts;
+    ropts.engine.record = true;
+    SoakHarness replay(ropts);
+    const SoakReport rr = replay.run_replay(std::move(*parsed));
+    const auto rebytes = replay.take_recorded_trace();
+    if (rebytes != bytes) {
+      std::printf("\nREPLAY-CHECK FAILED: re-recorded trace differs "
+                  "(%zu vs %zu bytes)\n",
+                  rebytes.size(), bytes.size());
+      rc = 1;
+    } else if (!rr.audit.ok()) {
+      std::printf("\nREPLAY-CHECK FAILED: replay audit failed\n");
+      rc = 1;
+    } else {
+      std::printf("\nreplay-check: %zu-byte trace round-tripped "
+                  "byte-identically\n",
+                  bytes.size());
+    }
+  }
+
+  bench::footnote(
+      "The audit sweeps every host's process table at the end of the run: a "
+      "batch job that never reached a terminal state counts as lost, a pid "
+      "resident on two hosts (or running below its home's incarnation epoch) "
+      "counts as duplicated. Both must be zero.");
+  return rc;
+}

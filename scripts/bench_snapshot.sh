@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench baselines (bench/baselines/BENCH_*.json).
+#
+# Each covered bench runs with fixed seeds and writes its final metrics
+# snapshot (counters/gauges/histograms, deterministic key order) via
+# --metrics-out. The simulation is deterministic, so a diff in a baseline is
+# a real behaviour change — review it like code. Transient exports keep the
+# gitignored *.metrics.json suffix; these baselines are named BENCH_*.json
+# precisely so they CAN be committed.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+OUT=bench/baselines
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"
+  shift
+  echo "== $name $* =="
+  "$BUILD/bench/$name" "$@" --metrics-out "$OUT/BENCH_${name#bench_}.json" \
+    > /dev/null
+}
+
+run bench_migration_cost
+run bench_forwarding
+run bench_soak --quick --seed 1
+
+echo "baselines written to $OUT/:"
+ls -l "$OUT"

@@ -1,136 +1,17 @@
-// Workload generators for the evaluation:
-//
-//   UserActivityModel — synthetic diurnal user behaviour standing in for the
-//     production traces behind the thesis's availability chapter: sessions
-//     of keystrokes during office hours, long absences at night and on
-//     weekends. Calibrated so 65–70 % of hosts are idle during the day and
-//     ~80 % at night (experiment E7).
-//
-//   ZhouLifetimes — the heavy-tailed process-lifetime distribution Zhou
-//     measured on a VAX-11/780 (mean 1.5 s, sd ~19 s), as a two-phase
-//     hyperexponential.
-//
-//   PolicyWorkload — the placement-vs-migration policy experiment (E10):
-//     jobs with Zhou lifetimes arrive at every workstation; policies range
-//     from "run at home" through exec-time placement to placement plus
-//     periodic rebalancing of long-running processes.
+// Compatibility shim: the workload generators moved to src/workload/ (the
+// trace-driven workload subsystem). This header keeps the old
+// sprite::apps spellings compiling; new code should include
+// workload/activity.h, workload/policy.h, or workload/session.h directly.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <functional>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "loadshare/facility.h"
-#include "sim/time.h"
-#include "util/rng.h"
-#include "util/stats.h"
-
-namespace sprite::kern {
-class Cluster;
-}
+#include "workload/activity.h"
+#include "workload/policy.h"
+#include "workload/session.h"
 
 namespace sprite::apps {
 
-class UserActivityModel {
- public:
-  struct Profile {
-    // Probability a cycle beginning at hour h finds the user present.
-    std::array<double, 24> presence;
-    // Weekend presence multiplier (days 5 and 6 of the simulated week).
-    double weekend_factor = 0.3;
-    sim::Time mean_session = sim::Time::minutes(25);
-    sim::Time mean_absence = sim::Time::minutes(45);
-    sim::Time mean_keystroke_gap = sim::Time::sec(4);
-
-    // Office-hours default, calibrated for E7's idle fractions.
-    static Profile office();
-  };
-
-  UserActivityModel(kern::Cluster& cluster, Profile profile);
-
-  // Starts activity on every workstation (staggered deterministically).
-  void start();
-
-  // Has this host's user been seen at all (distinguishes night absences)?
-  bool user_present(sim::HostId h) const;
-
- private:
-  void cycle(sim::HostId h);
-  void keystrokes(sim::HostId h, sim::Time session_end);
-  double presence_now() const;
-
-  kern::Cluster& cluster_;
-  Profile profile_;
-  util::Rng rng_;
-  std::map<sim::HostId, bool> present_;
-};
-
-// Zhou's process lifetime distribution [Zho87]: two-phase hyperexponential
-// with mean 1.5 s and standard deviation ~19-20 s.
-class ZhouLifetimes {
- public:
-  explicit ZhouLifetimes(util::Rng rng) : rng_(std::move(rng)) {}
-  sim::Time next() {
-    return sim::Time::sec(rng_.hyperexponential(0.994, 0.4, 183.7));
-  }
-
- private:
-  util::Rng rng_;
-};
-
-class PolicyWorkload {
- public:
-  enum class Policy : int {
-    kNone = 0,        // every job runs at home
-    kPlacement,       // exec-time placement of jobs arriving at busy hosts
-    kPlacementPlusMigration,  // placement + periodic rebalancing of
-                              // long-running processes
-  };
-  static const char* policy_name(Policy p);
-
-  struct Options {
-    Policy policy = Policy::kNone;
-    // Poisson arrival rate of jobs per workstation.
-    double arrivals_per_host_hz = 0.3;
-    sim::Time duration = sim::Time::minutes(10);
-    // Rebalance scan period for kPlacementPlusMigration.
-    sim::Time rebalance_period = sim::Time::sec(5);
-    // A process is "known long-running" once it has lived this long
-    // (Cabrera's heuristic).
-    sim::Time long_running_age = sim::Time::sec(2);
-  };
-
-  struct Result {
-    util::Distribution response_s;  // completion - arrival
-    util::Distribution slowdown;    // response / cpu demand
-    int jobs_submitted = 0;
-    int jobs_finished = 0;
-    int placed_remotely = 0;
-    int active_migrations = 0;
-  };
-
-  PolicyWorkload(kern::Cluster& cluster, ls::Facility& facility,
-                 Options options);
-
-  // Runs to completion (all submitted jobs finished); returns the result.
-  Result run();
-
- private:
-  void arrival(sim::HostId h);
-  void submit(sim::HostId h, sim::Time lifetime);
-  void rebalance();
-
-  kern::Cluster& cluster_;
-  ls::Facility& facility_;
-  Options options_;
-  util::Rng rng_;
-  ZhouLifetimes lifetimes_;
-  Result result_;
-  int outstanding_ = 0;
-  sim::Time deadline_;  // no arrivals after this instant
-};
+using wl::PolicyWorkload;
+using wl::UserActivityModel;
+using wl::ZhouLifetimes;
 
 }  // namespace sprite::apps

@@ -193,6 +193,14 @@ void Cluster::reboot_host(sim::HostId h) {
   for (const auto& fn : reboot_observers_) fn(h);
 }
 
+int Cluster::add_diagnosis_hook(std::function<std::string()> fn) {
+  const int id = next_diagnosis_hook_++;
+  diagnosis_hooks_[id] = std::move(fn);
+  return id;
+}
+
+void Cluster::remove_diagnosis_hook(int id) { diagnosis_hooks_.erase(id); }
+
 void Cluster::run_until_done(const std::function<bool()>& done) {
   const bool finished = sim_.run_while_pending(done);
   if (!finished) {
@@ -237,6 +245,12 @@ void Cluster::run_until_done(const std::function<bool()>& done) {
       if (const std::size_t n = hp->fs().parked_pipe_retries(); n > 0)
         LOG_ERROR("kern", "host%d: %zu parked pipe retr%s", h, n,
                   n == 1 ? "y" : "ies");
+    }
+    // Layered-subsystem summaries (workload engine, experiment harnesses):
+    // what the cluster was being ASKED to do when it stalled.
+    for (const auto& [id, fn] : diagnosis_hooks_) {
+      const std::string text = fn();
+      if (!text.empty()) LOG_ERROR("kern", "%s", text.c_str());
     }
     // The per-host snapshot above says what everyone is waiting ON; the
     // flight recorder says what everyone was DOING. Dump it here rather

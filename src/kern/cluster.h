@@ -170,6 +170,15 @@ class Cluster {
     reboot_observers_.push_back(std::move(fn));
   }
 
+  // ---- Starvation diagnosis hooks ----
+  // Layers above the kernel (e.g. the workload engine) register a hook
+  // returning a multi-line state summary; run_until_done prints every
+  // hook's text in its starvation diagnosis, so a hung soak names the jobs
+  // and sessions in flight, not just kernel wait-state. Returns an id for
+  // remove_diagnosis_hook (hooks may be outlived by the cluster).
+  int add_diagnosis_hook(std::function<std::string()> fn);
+  void remove_diagnosis_hook(int id);
+
   // ---- Program registry ----
   // All hosts see the same binaries through the shared file system, so
   // executable images are registered cluster-wide. install_program also
@@ -189,6 +198,8 @@ class Cluster {
   std::set<sim::HostId> crashed_;
   std::vector<std::function<void(sim::HostId)>> crash_observers_;
   std::vector<std::function<void(sim::HostId)>> reboot_observers_;
+  std::map<int, std::function<std::string()>> diagnosis_hooks_;
+  int next_diagnosis_hook_ = 1;
 };
 
 }  // namespace sprite::kern

@@ -97,6 +97,10 @@ void LoadShareNode::peer_crashed(HostId peer) {
 
 void LoadShareNode::enable_autoeviction(std::function<void()> on_user_return) {
   on_user_return_ = std::move(on_user_return);
+  // Register the latency histogram now, not at first eviction: exports and
+  // the metric inventory must see it even on runs where no owner returned.
+  host_.cluster().sim().trace().histogram(
+      "ls.eviction.latency_ms", trace::default_latency_bounds_ms(), host_.id());
   host_.set_input_observer([this] {
     if (on_user_return_) on_user_return_();
     if (evicting_) return;
@@ -107,7 +111,15 @@ void LoadShareNode::enable_autoeviction(std::function<void()> on_user_return) {
       tr.instant("ls", "user returned: evict foreign", host_.id(), -1,
                  {{"foreign", std::to_string(
                                   host_.procs().foreign_processes().size())}});
-    host_.mig().evict_all_foreign([this](int) { evicting_ = false; });
+    // The owner is waiting: time from the keystroke to the last foreign
+    // process gone is the latency the thesis promises stays sub-second.
+    const Time t0 = host_.cluster().sim().now();
+    host_.mig().evict_all_foreign([this, t0](int) {
+      evicting_ = false;
+      host_.cluster().sim().trace().histogram(
+          "ls.eviction.latency_ms", trace::default_latency_bounds_ms(),
+          host_.id()).record(host_.cluster().sim().now() - t0);
+    });
   });
 }
 

@@ -37,6 +37,7 @@ ProcTable::ProcTable(kern::Host& host) : host_(host), self_(host.id()) {
   c_syscalls_ = &tr.counter("proc.syscall.entered", self_);
   c_forwarded_ = &tr.counter("proc.syscall.forwarded_home", self_);
   c_peer_kills_ = &tr.counter("proc.process.killed_home_crash", self_);
+  c_foreign_cpu_us_ = &tr.counter("proc.cpu.foreign_us", self_);
 }
 
 const ProcTable::Stats& ProcTable::stats() const {
@@ -228,6 +229,7 @@ void ProcTable::dispatch(const PcbPtr& pcb, Action action) {
                 p->cpu_job = sim::kInvalidCpuJob;
                 p->remaining_compute = Time::zero();
                 p->cpu_used += burst;
+                if (p->foreign()) c_foreign_cpu_us_->inc(burst.us());
                 finish_action(p);
               });
         } else if constexpr (std::is_same_v<T, Touch>) {
@@ -952,9 +954,17 @@ void ProcTable::freeze(const PcbPtr& pcb, std::function<void()> cb) {
     cb();
     return;
   }
-  // Computing: preempt and carry the unserved burst.
+  // Computing: preempt and carry the unserved burst. The served fraction
+  // was burned HERE — credit it now, or it would vanish from cpu_used (the
+  // resumed job on the target only accounts the remainder).
   if (pcb->cpu_job != sim::kInvalidCpuJob) {
-    pcb->remaining_compute = host_.cpu().cancel(pcb->cpu_job);
+    const Time unserved = host_.cpu().cancel(pcb->cpu_job);
+    const Time served = pcb->remaining_compute - unserved;
+    if (served > Time::zero()) {
+      pcb->cpu_used += served;
+      if (pcb->foreign()) c_foreign_cpu_us_->inc(served.us());
+    }
+    pcb->remaining_compute = unserved;
     pcb->cpu_job = sim::kInvalidCpuJob;
     pcb->state = ProcState::kFrozen;
     cb();
@@ -1028,6 +1038,7 @@ void ProcTable::install_and_resume(const PcbPtr& pcb) {
           p->cpu_job = sim::kInvalidCpuJob;
           p->remaining_compute = Time::zero();
           p->cpu_used += burst;
+          if (p->foreign()) c_foreign_cpu_us_->inc(burst.us());
           finish_action(p);
         });
     return;

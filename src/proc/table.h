@@ -265,6 +265,11 @@ class ProcTable {
   // from owner-return evictions (mig.eviction.completed), which move the
   // process home alive.
   trace::Counter* c_peer_kills_;
+  // CPU time this host delivered to foreign (migrated-in) processes — the
+  // numerator of the paper's "utilization recovered by migration". Credited
+  // where the cycles were actually burned, including the served fraction of
+  // a burst preempted by a further migration.
+  trace::Counter* c_foreign_cpu_us_;
   mutable Stats stats_view_;
 };
 

@@ -29,6 +29,23 @@ class Encoder {
     out_.insert(out_.end(), b.begin(), b.end());
   }
 
+  // LEB128 varint: 7 bits per byte, low first, high bit = continuation.
+  // Small values (the common case in event streams) cost one byte instead
+  // of eight; workload traces are delta-encoded specifically to feed this.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  // ZigZag-mapped varint for signed payloads near zero.
+  void put_zigzag(std::int64_t v) {
+    put_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+  }
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
   const std::vector<std::uint8_t>& bytes() const { return out_; }
   std::vector<std::uint8_t> take() { return std::move(out_); }
 
@@ -71,6 +88,26 @@ class Decoder {
         in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += static_cast<std::size_t>(n);
     return b;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!need(1)) return 0;
+      const std::uint8_t b = in_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok_ = false;  // > 10 continuation bytes: not a valid varint
+    return 0;
+  }
+  std::int64_t zigzag() {
+    const std::uint64_t v = varint();
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return in_[pos_++];
   }
 
   // False once any read ran past the end; data decoded after that point is

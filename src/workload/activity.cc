@@ -1,0 +1,61 @@
+#include "workload/activity.h"
+
+#include "kern/cluster.h"
+
+namespace sprite::wl {
+
+using sim::HostId;
+using sim::Time;
+
+UserActivityModel::UserActivityModel(kern::Cluster& cluster, Profile profile)
+    : cluster_(cluster),
+      profile_(profile),
+      rng_(cluster.sim().fork_rng()) {}
+
+void UserActivityModel::start() {
+  for (HostId w : cluster_.workstations()) {
+    present_[w] = false;
+    const Time stagger = Time::sec(rng_.uniform(0.0, 60.0));
+    cluster_.sim().after(stagger, [this, w] { cycle(w); });
+  }
+}
+
+bool UserActivityModel::user_present(HostId h) const {
+  auto it = present_.find(h);
+  return it != present_.end() && it->second;
+}
+
+void UserActivityModel::cycle(HostId h) {
+  if (rng_.bernoulli(profile_.diurnal.at(cluster_.sim().now()))) {
+    present_[h] = true;
+    cluster_.host(h).note_user_input();
+    const Time session =
+        Time::sec(rng_.exponential(profile_.mean_session.s()));
+    keystrokes(h, cluster_.sim().now() + session);
+  } else {
+    present_[h] = false;
+    const Time absence =
+        Time::sec(rng_.exponential(profile_.mean_absence.s()));
+    cluster_.sim().after(absence, [this, h] { cycle(h); });
+  }
+}
+
+void UserActivityModel::keystrokes(HostId h, Time session_end) {
+  const Time gap =
+      Time::sec(rng_.exponential(profile_.mean_keystroke_gap.s()));
+  const Time next = cluster_.sim().now() + gap;
+  if (next >= session_end) {
+    // Session over; the user walks away.
+    cluster_.sim().at(session_end, [this, h] {
+      present_[h] = false;
+      cycle(h);
+    });
+    return;
+  }
+  cluster_.sim().at(next, [this, h, session_end] {
+    cluster_.host(h).note_user_input();
+    keystrokes(h, session_end);
+  });
+}
+
+}  // namespace sprite::wl

@@ -1,0 +1,55 @@
+// UserActivityModel: push-style interactive user behaviour driven directly
+// by the simulator (the original E7 idle-fraction generator, now built on
+// the shared DiurnalProfile so there is exactly one session vocabulary).
+//
+// Prefer the pull-based Generator (session.h) + Engine (engine.h) for new
+// experiments — they add batch/storm events and record/replay. This model
+// remains for the availability experiments that only need keystrokes and
+// presence tracking per host.
+#pragma once
+
+#include <map>
+
+#include "sim/ids.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "workload/session.h"
+
+namespace sprite::kern {
+class Cluster;
+}
+
+namespace sprite::wl {
+
+class UserActivityModel {
+ public:
+  struct Profile {
+    DiurnalProfile diurnal = DiurnalProfile::office();
+    sim::Time mean_session = sim::Time::minutes(25);
+    sim::Time mean_absence = sim::Time::minutes(45);
+    sim::Time mean_keystroke_gap = sim::Time::sec(4);
+
+    // Office-hours default, calibrated for E7's idle fractions (65-70 % of
+    // hosts idle during the day, ~80 % at night).
+    static Profile office() { return {}; }
+  };
+
+  UserActivityModel(kern::Cluster& cluster, Profile profile);
+
+  // Starts activity on every workstation (staggered deterministically).
+  void start();
+
+  // Has this host's user been seen at all (distinguishes night absences)?
+  bool user_present(sim::HostId h) const;
+
+ private:
+  void cycle(sim::HostId h);
+  void keystrokes(sim::HostId h, sim::Time session_end);
+
+  kern::Cluster& cluster_;
+  Profile profile_;
+  util::Rng rng_;
+  std::map<sim::HostId, bool> present_;
+};
+
+}  // namespace sprite::wl

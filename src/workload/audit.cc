@@ -1,0 +1,70 @@
+#include "workload/audit.h"
+
+#include <map>
+
+#include "kern/cluster.h"
+#include "proc/table.h"
+
+namespace sprite::wl {
+
+using sim::HostId;
+
+AuditResult audit_incarnations(kern::Cluster& cluster,
+                               const std::vector<Engine::JobRecord>& jobs) {
+  AuditResult r;
+
+  // 1. Ledger completeness: every submitted job reached a terminal state.
+  for (const auto& j : jobs) {
+    if (j.terminal()) continue;
+    ++r.lost;
+    r.problems.push_back("job " + std::to_string(j.id) + " (home host" +
+                         std::to_string(j.home) + ", pid " +
+                         std::to_string(j.pid) + ") never reached a "
+                         "terminal state");
+  }
+
+  // 2. Residency sweep: each pid may be resident on at most one running
+  // host, and a resident copy must carry its home's current incarnation
+  // epoch (an older epoch is a pre-restart ghost that should have died).
+  std::map<proc::Pid, std::vector<std::pair<HostId, std::int64_t>>> where;
+  for (std::size_t i = 0; i < cluster.num_hosts(); ++i) {
+    const auto h = static_cast<HostId>(i);
+    kern::Host& host = cluster.host(h);
+    if (!host.up()) continue;  // the kernel's own state, not a peer query
+    for (const auto& pcb : host.procs().local_processes())
+      where[pcb->pid].push_back({h, pcb->incarnation});
+  }
+  for (const auto& [pid, sites] : where) {
+    if (sites.size() > 1) {
+      ++r.duplicated;
+      std::string msg = "pid " + std::to_string(pid) + " resident on " +
+                        std::to_string(sites.size()) + " hosts:";
+      for (const auto& [h, inc] : sites)
+        msg += " host" + std::to_string(h) + "@inc" + std::to_string(inc);
+      r.problems.push_back(std::move(msg));
+    }
+    for (const auto& [h, inc] : sites) {
+      kern::Host& current = cluster.host(h);
+      // Ask the home machine (if it is this host or still running) what
+      // incarnation epoch is authoritative for the pid.
+      const HostId home = [&] {
+        const auto pcb = current.procs().find(pid);
+        return pcb ? pcb->home : sim::kInvalidHost;
+      }();
+      if (home == sim::kInvalidHost || !cluster.host(home).up()) continue;
+      const auto authoritative =
+          cluster.host(home).procs().home_record_incarnation(pid);
+      if (authoritative >= 0 && inc < authoritative) {
+        ++r.duplicated;
+        r.problems.push_back(
+            "pid " + std::to_string(pid) + " on host" + std::to_string(h) +
+            " carries stale incarnation " + std::to_string(inc) +
+            " (home says " + std::to_string(authoritative) + ")");
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace sprite::wl

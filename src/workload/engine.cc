@@ -1,0 +1,450 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "apps/pmake.h"
+#include "kern/cluster.h"
+#include "loadshare/facility.h"
+#include "proc/script.h"
+#include "proc/table.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace sprite::wl {
+
+using proc::Pid;
+using sim::HostId;
+using sim::Time;
+
+Engine::Engine(kern::Cluster& cluster, ls::Facility* facility, Options opts)
+    : cluster_(cluster), facility_(facility), opts_(opts) {
+  trace::Registry& tr = cluster_.sim().trace();
+  c_applied_ = &tr.counter("workload.event.applied");
+  c_skipped_ = &tr.counter("workload.event.skipped");
+  c_session_begun_ = &tr.counter("workload.session.begun");
+  c_session_ended_ = &tr.counter("workload.session.ended");
+  c_keystrokes_ = &tr.counter("workload.keystroke.applied");
+  c_submitted_ = &tr.counter("workload.job.submitted");
+  c_launched_ = &tr.counter("workload.job.launched");
+  c_placed_ = &tr.counter("workload.job.placed");
+  c_finished_ = &tr.counter("workload.job.finished");
+  c_crashed_ = &tr.counter("workload.job.crashed");
+  c_dropped_ = &tr.counter("workload.job.dropped");
+  c_queued_ = &tr.counter("workload.job.queued");
+  c_storm_begun_ = &tr.counter("workload.storm.begun");
+  c_storm_finished_ = &tr.counter("workload.storm.finished");
+  c_storm_crashed_ = &tr.counter("workload.storm.crashed");
+  g_sessions_ = &tr.gauge("workload.session.active");
+  g_running_ = &tr.gauge("workload.job.running");
+  g_backlog_ = &tr.gauge("workload.job.backlog");
+
+  for (std::size_t h = 0; h < cluster_.num_hosts(); ++h)
+    hosts_[static_cast<HostId>(h)] = PerHost{};
+  cluster_.add_crash_observer([this](HostId h) { on_crash(h); });
+  cluster_.add_reboot_observer([this](HostId h) { hosts_[h].up = true; });
+  diagnosis_hook_ = cluster_.add_diagnosis_hook([this] { return diagnosis(); });
+}
+
+Engine::~Engine() { cluster_.remove_diagnosis_hook(diagnosis_hook_); }
+
+std::string Engine::diagnosis() const {
+  std::string out = "workload engine: " + std::to_string(active_sessions_) +
+                    " active sessions, " + std::to_string(total_running_) +
+                    " jobs running, " + std::to_string(total_queued_) +
+                    " queued, " + std::to_string(storms_active_) +
+                    " storms active, " + std::to_string(events_applied_) +
+                    " events applied" + (source_done_ ? " (stream done)" : "");
+  int listed = 0;
+  for (const auto& j : jobs_) {
+    if (j.terminal() || j.state == JobRecord::State::kQueued) continue;
+    if (++listed > 20) {
+      out += "\n  ... more jobs in flight elided";
+      break;
+    }
+    out += "\n  job " + std::to_string(j.id) + ": home host" +
+           std::to_string(j.home) + " pid " + std::to_string(j.pid) +
+           (j.state == JobRecord::State::kPlacing ? " placing" : " running") +
+           (j.placed != sim::kInvalidHost
+                ? " placed@host" + std::to_string(j.placed)
+                : "");
+  }
+  for (const auto& s : storms_) {
+    if (s->done) continue;
+    out += "\n  storm on host" + std::to_string(s->controller) + " unfinished";
+  }
+  return out;
+}
+
+void Engine::install_job_program() {
+  if (facility_ != nullptr) apps::install_rexec(cluster_);
+  if (cluster_.find_program("/bin/job") != nullptr) return;
+  proc::ProgramImage job;
+  job.code_pages = 8;
+  job.heap_pages = 16;
+  job.stack_pages = 2;
+  job.factory = [](const std::vector<std::string>& args) {
+    SPRITE_CHECK(!args.empty());
+    const Time cpu = Time::usec(std::stoll(args[0]));
+    proc::ScriptBuilder b;
+    // Compute in bounded chunks, dirtying heap pages between them: real
+    // batch work touches memory as it runs, and the dirty pages are what
+    // makes a long-lived job eligible for autocheckpoint.
+    const Time chunk = Time::sec(30);
+    Time left = cpu;
+    do {
+      b.act(proc::Touch{vm::Segment::kHeap, 0, 12, true});
+      const Time step = left < chunk ? left : chunk;
+      b.compute(step);
+      left = left - step;
+    } while (left > Time::zero());
+    b.exit(0);
+    return std::unique_ptr<proc::Program>(b.build());
+  };
+  SPRITE_CHECK(cluster_.install_program("/bin/job", job).is_ok());
+}
+
+void Engine::start(const SessionSpec& spec, std::uint64_t seed) {
+  SPRITE_CHECK_MSG(!started_, "Engine::start called twice");
+  started_ = true;
+  install_job_program();
+  gen_ = std::make_unique<Generator>(spec, cluster_.workstations(), seed);
+  if (opts_.record) writer_ = std::make_unique<TraceWriter>(seed);
+  pump();
+}
+
+void Engine::start_replay(ParsedTrace trace) {
+  SPRITE_CHECK_MSG(!started_, "Engine::start called twice");
+  started_ = true;
+  install_job_program();
+  replaying_ = true;
+  replay_ = std::move(trace.events);
+  if (opts_.record) writer_ = std::make_unique<TraceWriter>(trace.seed);
+  pump();
+}
+
+void Engine::pump() {
+  WorkloadEvent ev;
+  bool have = false;
+  if (replaying_) {
+    if (replay_next_ < replay_.size()) {
+      ev = replay_[replay_next_++];
+      have = true;
+    }
+  } else {
+    have = gen_->next(&ev);
+  }
+  if (!have) {
+    source_done_ = true;
+    if (writer_) recorded_ = writer_->finish();
+    return;
+  }
+  if (writer_) writer_->add(ev);
+  cluster_.sim().at(ev.at, [this, ev] {
+    apply(ev);
+    pump();
+  });
+}
+
+void Engine::apply(const WorkloadEvent& ev) {
+  ++events_applied_;
+  c_applied_->inc();
+  PerHost& ph = hosts_[ev.host];
+  switch (ev.kind) {
+    case EvKind::kSessionBegin:
+      ++active_sessions_;
+      g_sessions_->set(active_sessions_);
+      c_session_begun_->inc();
+      cluster_.sim().trace().flight_note("wl", "session begin", ev.host, -1,
+                                         ev.a0);
+      if (ph.up) cluster_.host(ev.host).note_user_input();
+      break;
+    case EvKind::kKeystroke:
+      if (ph.up) {
+        cluster_.host(ev.host).note_user_input();
+        c_keystrokes_->inc();
+      } else {
+        c_skipped_->inc();
+      }
+      break;
+    case EvKind::kSessionEnd:
+      --active_sessions_;
+      g_sessions_->set(active_sessions_);
+      c_session_ended_->inc();
+      cluster_.sim().trace().flight_note("wl", "session end", ev.host, -1,
+                                         ev.a0);
+      break;
+    case EvKind::kBatchSubmit:
+      submit_batch(ev.host, ev.a0);
+      break;
+    case EvKind::kStorm:
+      if (opts_.storms && facility_ != nullptr && ph.up) {
+        start_storm(ev.host, ev.a0, ev.a1);
+      } else {
+        c_skipped_->inc();
+      }
+      break;
+  }
+}
+
+void Engine::submit_batch(HostId h, std::int64_t cpu_us) {
+  c_submitted_->inc();
+  const auto id = static_cast<std::int64_t>(jobs_.size());
+  JobRecord j;
+  j.id = id;
+  j.home = h;
+  j.cpu_us = std::max<std::int64_t>(1, cpu_us);
+  jobs_.push_back(j);
+  ++live_jobs_;
+
+  PerHost& ph = hosts_[h];
+  if (!ph.up) {
+    job_terminal(id, JobRecord::State::kDropped, -1);
+    return;
+  }
+  if (ph.running >= opts_.max_running_per_host) {
+    if (static_cast<int>(ph.queue.size()) >= opts_.max_queue_per_host) {
+      job_terminal(id, JobRecord::State::kDropped, -1);
+      return;
+    }
+    ph.queue.push_back(id);
+    ++total_queued_;
+    c_queued_->inc();
+    g_backlog_->set(total_queued_);
+    return;
+  }
+  launch_job(id);
+}
+
+void Engine::launch_job(std::int64_t id) {
+  JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+  const HostId h = j.home;
+  PerHost& ph = hosts_[h];
+  j.state = JobRecord::State::kPlacing;
+  ++ph.running;
+  ++total_running_;
+  g_running_->set(total_running_);
+
+  const bool try_place = opts_.place_batch && facility_ != nullptr &&
+                         cluster_.host(h).cpu().runnable_users() >= 1;
+  if (!try_place) {
+    spawn_job(id, sim::kInvalidHost);
+    return;
+  }
+  const std::int64_t epoch = ph.epoch;
+  facility_->selector(h).request_hosts(
+      1, [this, id, h, epoch](std::vector<HostId> hosts) {
+        const JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+        if (j.state != JobRecord::State::kPlacing ||
+            hosts_[h].epoch != epoch) {
+          // The home crashed while we were asking; the grant (if any) died
+          // with the selector's soft state.
+          return;
+        }
+        spawn_job(id, hosts.empty() ? sim::kInvalidHost : hosts[0]);
+      });
+}
+
+void Engine::spawn_job(std::int64_t id, HostId target) {
+  JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+  const HostId h = j.home;
+  const std::int64_t epoch = hosts_[h].epoch;
+  j.placed = target;
+
+  std::string exe;
+  std::vector<std::string> args;
+  if (target == sim::kInvalidHost) {
+    exe = "/bin/job";
+    args = {std::to_string(j.cpu_us)};
+  } else {
+    exe = "/bin/rexec";
+    args = {std::to_string(target), "/bin/job", std::to_string(j.cpu_us)};
+    c_placed_->inc();
+  }
+
+  cluster_.host(h).procs().spawn(
+      exe, std::move(args), [this, id, h, epoch](util::Result<Pid> r) {
+        JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+        if (j.state != JobRecord::State::kPlacing ||
+            hosts_[h].epoch != epoch) {
+          return;
+        }
+        if (!r.is_ok()) {
+          if (j.placed != sim::kInvalidHost && facility_ != nullptr)
+            facility_->selector(h).release_host(j.placed);
+          job_terminal(id, JobRecord::State::kDropped, -1);
+          return;
+        }
+        j.pid = *r;
+        j.state = JobRecord::State::kRunning;
+        c_launched_->inc();
+        cluster_.host(h).procs().notify_on_exit(
+            *r, [this, id, h, epoch](int status) {
+              const JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+              if (j.state != JobRecord::State::kRunning ||
+                  hosts_[h].epoch != epoch) {
+                return;
+              }
+              if (j.placed != sim::kInvalidHost && facility_ != nullptr)
+                facility_->selector(h).release_host(j.placed);
+              job_terminal(id,
+                           status == proc::kHostCrashExitStatus
+                               ? JobRecord::State::kCrashed
+                               : JobRecord::State::kFinished,
+                           status);
+            });
+      });
+}
+
+void Engine::job_terminal(std::int64_t id, JobRecord::State state,
+                          int status) {
+  JobRecord& j = jobs_[static_cast<std::size_t>(id)];
+  SPRITE_CHECK(!j.terminal());
+  const JobRecord::State old = j.state;
+  j.state = state;
+  j.exit_status = status;
+  --live_jobs_;
+  switch (state) {
+    case JobRecord::State::kFinished: c_finished_->inc(); break;
+    case JobRecord::State::kCrashed: c_crashed_->inc(); break;
+    case JobRecord::State::kDropped: c_dropped_->inc(); break;
+    default: SPRITE_CHECK_MSG(false, "job_terminal: non-terminal state");
+  }
+  if (old == JobRecord::State::kPlacing || old == JobRecord::State::kRunning) {
+    PerHost& ph = hosts_[j.home];
+    --ph.running;
+    --total_running_;
+    g_running_->set(total_running_);
+    drain_queue(j.home);
+  }
+}
+
+void Engine::drain_queue(HostId h) {
+  PerHost& ph = hosts_[h];
+  if (!ph.up) return;
+  while (ph.running < opts_.max_running_per_host && !ph.queue.empty()) {
+    const std::int64_t id = ph.queue.front();
+    ph.queue.pop_front();
+    --total_queued_;
+    if (jobs_[static_cast<std::size_t>(id)].state != JobRecord::State::kQueued)
+      continue;
+    launch_job(id);
+  }
+  g_backlog_->set(total_queued_);
+}
+
+void Engine::start_storm(HostId h, std::int64_t files, std::int64_t cpu_us) {
+  const auto k = storms_.size();
+  c_storm_begun_->inc();
+  ++storms_active_;
+  cluster_.sim().trace().flight_note("wl", "storm begin", h, -1,
+                                     static_cast<std::int64_t>(files));
+
+  // Unique target names per storm so concurrent builds never collide; the
+  // shared headers are the same files every storm opens (server lookups are
+  // the contended resource, as in E3).
+  const std::string base = "/src/w" + std::to_string(k);
+  std::vector<std::string> headers;
+  for (int i = 0; i < 3; ++i)
+    headers.push_back("/sprite/lib/include/sys/h" + std::to_string(i) + ".h");
+  std::vector<apps::Target> targets;
+  std::vector<std::string> objects;
+  for (std::int64_t i = 0; i < std::max<std::int64_t>(1, files); ++i) {
+    apps::Target t;
+    t.name = base + "_f" + std::to_string(i) + ".o";
+    t.deps = {base + "_f" + std::to_string(i) + ".c"};
+    t.includes = headers;
+    t.cpu = Time::usec(cpu_us);
+    objects.push_back(t.name);
+    targets.push_back(std::move(t));
+  }
+  apps::Target link;
+  link.name = base + "_prog";
+  link.deps = std::move(objects);
+  link.cpu = Time::usec(cpu_us / 2);
+  link.write_bytes = 256 * 1024;
+  targets.push_back(std::move(link));
+
+  apps::Pmake::Options po;
+  po.controller = h;
+  po.max_jobs = 4;
+  po.facility = facility_;
+  auto storm = std::make_unique<Storm>();
+  storm->controller = h;
+  storm->pmake =
+      std::make_unique<apps::Pmake>(cluster_, po, std::move(targets));
+  storm->pmake->prepare();
+  Storm* s = storm.get();
+  storms_.push_back(std::move(storm));
+  s->pmake->run([this, s, h](apps::Pmake::Result) {
+    if (s->done) return;  // already written off by a controller crash
+    s->done = true;
+    --storms_active_;
+    c_storm_finished_->inc();
+    cluster_.sim().trace().flight_note("wl", "storm done", h);
+  });
+}
+
+void Engine::on_crash(HostId h) {
+  PerHost& ph = hosts_[h];
+  ph.up = false;
+  ++ph.epoch;
+
+  // Shed the queue first so job_terminal's drain cannot relaunch anything
+  // (drain_queue is a no-op on a down host anyway — belt and braces).
+  std::deque<std::int64_t> queued;
+  queued.swap(ph.queue);
+  total_queued_ -= static_cast<int>(queued.size());
+  g_backlog_->set(total_queued_);
+  for (std::int64_t id : queued)
+    job_terminal(id, JobRecord::State::kDropped, -1);
+
+  // In-flight jobs homed here are gone: the kernel dropped their home
+  // records and exit observers with the crash, so this is the only place
+  // left that can account for them.
+  for (auto& j : jobs_) {
+    if (j.home != h || j.terminal() || j.state == JobRecord::State::kQueued)
+      continue;
+    job_terminal(j.id, JobRecord::State::kCrashed,
+                 proc::kHostCrashExitStatus);
+  }
+  SPRITE_CHECK(ph.running == 0);
+
+  // Storms whose controller died can never report completion: their
+  // notify_on_exit observers died with the controller's process table.
+  for (auto& s : storms_) {
+    if (s->controller != h || s->done) continue;
+    s->done = true;
+    --storms_active_;
+    c_storm_crashed_->inc();
+  }
+  cluster_.sim().trace().flight_note("wl", "host lost", h);
+}
+
+bool Engine::drained() const {
+  return started_ && source_done_ && storms_active_ == 0 && live_jobs_ == 0;
+}
+
+std::vector<std::uint8_t> Engine::take_recorded_trace() {
+  return std::move(recorded_);
+}
+
+Engine::Summary Engine::summary() const {
+  Summary s;
+  s.active_sessions = active_sessions_;
+  s.jobs_running = total_running_;
+  s.jobs_queued = total_queued_;
+  s.storms_active = storms_active_;
+  s.events_applied = events_applied_;
+  s.events_total = source_done_ ? events_applied_ : -1;
+  s.sessions_begun = c_session_begun_->value();
+  s.jobs_submitted = c_submitted_->value();
+  s.jobs_finished = c_finished_->value();
+  s.jobs_crashed = c_crashed_->value();
+  s.jobs_dropped = c_dropped_->value();
+  s.storms_finished = c_storm_finished_->value();
+  s.storms_crashed = c_storm_crashed_->value();
+  return s;
+}
+
+}  // namespace sprite::wl

@@ -1,0 +1,205 @@
+// Engine: applies a workload-event stream to a live cluster.
+//
+// The engine is the deterministic bridge between the stochastic session
+// model (session.h) and the kernel under test: it pumps events one at a
+// time through the simulator, turns keystrokes into Host::note_user_input
+// (arming owner-return eviction), batch submissions into /bin/job processes
+// placed through the load-sharing facility, and storm events into real
+// apps::Pmake builds. Because every decision the engine makes is a function
+// of the event stream and the cluster state, feeding it a recorded trace
+// reproduces the original run — and re-recording the replay yields the
+// byte-identical trace (the soak harness asserts exactly that).
+//
+// Crash discipline: the engine learns host liveness ONLY through the
+// cluster's crash/reboot observers (never by querying simulator ground
+// truth), mirroring how a real login manager would observe its machines.
+// Jobs homed on a crashed host are marked terminal immediately: the kernel
+// dropped their exit observers with the dead home record, so nobody else
+// will ever account for them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "proc/pcb.h"
+#include "workload/session.h"
+#include "workload/trace_file.h"
+
+namespace sprite::kern {
+class Cluster;
+}
+namespace sprite::ls {
+class Facility;
+}
+namespace sprite::apps {
+class Pmake;
+}
+namespace sprite::trace {
+class Counter;
+class Gauge;
+}
+
+namespace sprite::wl {
+
+class Engine {
+ public:
+  struct Options {
+    // Place batch jobs on idle hosts via the facility when the submitting
+    // host is busy (the thesis's exec-time placement policy).
+    bool place_batch = true;
+    // Batch jobs running concurrently per host before new ones queue.
+    int max_running_per_host = 4;
+    // Queued jobs per host before further submissions are shed.
+    int max_queue_per_host = 64;
+    // Apply kStorm events (requires a facility for remote compiles).
+    bool storms = true;
+    // Record every applied event into a trace (take_recorded_trace()).
+    bool record = false;
+  };
+
+  // One batch job's life, kept for the end-of-run incarnation audit. Every
+  // record must reach a terminal state by the end of a drained run.
+  struct JobRecord {
+    enum class State {
+      kQueued,    // waiting for a per-host slot
+      kPlacing,   // asking the facility / spawning
+      kRunning,   // pid live, exit observer armed
+      kFinished,  // exited normally (includes checkpoint-restarted runs)
+      kCrashed,   // died with a host crash and was never restarted
+      kDropped,   // shed before ever becoming a process
+    };
+    std::int64_t id = 0;
+    sim::HostId home = sim::kInvalidHost;
+    sim::HostId placed = sim::kInvalidHost;  // facility grant, if any
+    proc::Pid pid = proc::kInvalidPid;
+    std::int64_t cpu_us = 0;
+    State state = State::kQueued;
+    int exit_status = 0;
+
+    bool terminal() const {
+      return state == State::kFinished || state == State::kCrashed ||
+             state == State::kDropped;
+    }
+  };
+
+  // Live snapshot for the starvation diagnosis dump and the soak report.
+  struct Summary {
+    int active_sessions = 0;
+    int jobs_running = 0;
+    int jobs_queued = 0;
+    int storms_active = 0;
+    std::int64_t events_applied = 0;
+    std::int64_t events_total = -1;  // -1 while the stream is still open
+    std::int64_t sessions_begun = 0;
+    std::int64_t jobs_submitted = 0;
+    std::int64_t jobs_finished = 0;
+    std::int64_t jobs_crashed = 0;
+    std::int64_t jobs_dropped = 0;
+    std::int64_t storms_finished = 0;
+    std::int64_t storms_crashed = 0;
+  };
+
+  // `facility` may be null (then everything runs at home and storms are
+  // skipped). The engine registers crash/reboot observers on construction
+  // and must outlive the run.
+  Engine(kern::Cluster& cluster, ls::Facility* facility, Options opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Starts pumping a generated stream / a previously recorded trace. Call
+  // exactly one of these, once, before running the simulator.
+  void start(const SessionSpec& spec, std::uint64_t seed);
+  void start_replay(ParsedTrace trace);
+
+  // True once every event has been applied and every job and storm has
+  // reached a terminal state — the soak's run_until_done predicate.
+  bool drained() const;
+
+  // The finished trace bytes (opts.record only; call after the run).
+  std::vector<std::uint8_t> take_recorded_trace();
+
+  Summary summary() const;
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  // Multi-line state dump for the cluster's starvation diagnosis: active
+  // sessions, queued/running jobs (with pids and states), storm backlog.
+  std::string diagnosis() const;
+
+ private:
+  struct PerHost {
+    bool up = true;
+    std::int64_t epoch = 0;         // bumped on every crash
+    int running = 0;                // batch jobs in kPlacing/kRunning
+    std::deque<std::int64_t> queue; // job ids in kQueued
+  };
+
+  struct Storm {
+    std::unique_ptr<apps::Pmake> pmake;  // kept alive for the whole run:
+                                         // in-flight closures reference it
+    sim::HostId controller = sim::kInvalidHost;
+    bool done = false;
+  };
+
+  void pump();
+  void apply(const WorkloadEvent& ev);
+  void submit_batch(sim::HostId h, std::int64_t cpu_us);
+  void launch_job(std::int64_t id);
+  void spawn_job(std::int64_t id, sim::HostId target);
+  void job_terminal(std::int64_t id, JobRecord::State state, int status);
+  void drain_queue(sim::HostId h);
+  void start_storm(sim::HostId h, std::int64_t files, std::int64_t cpu_us);
+  void on_crash(sim::HostId h);
+  void install_job_program();
+
+  kern::Cluster& cluster_;
+  ls::Facility* facility_;
+  Options opts_;
+
+  std::unique_ptr<Generator> gen_;
+  std::vector<WorkloadEvent> replay_;
+  std::size_t replay_next_ = 0;
+  bool replaying_ = false;
+  bool source_done_ = false;
+  bool started_ = false;
+  std::unique_ptr<TraceWriter> writer_;
+  std::vector<std::uint8_t> recorded_;
+
+  std::map<sim::HostId, PerHost> hosts_;
+  std::vector<JobRecord> jobs_;
+  std::vector<std::unique_ptr<Storm>> storms_;
+  int active_sessions_ = 0;
+  int storms_active_ = 0;
+  int total_running_ = 0;
+  int total_queued_ = 0;
+  std::int64_t live_jobs_ = 0;  // records not yet terminal
+  std::int64_t events_applied_ = 0;
+  int diagnosis_hook_ = 0;
+
+  // workload.* metrics (trace/trace.h).
+  trace::Counter* c_applied_;
+  trace::Counter* c_skipped_;
+  trace::Counter* c_session_begun_;
+  trace::Counter* c_session_ended_;
+  trace::Counter* c_keystrokes_;
+  trace::Counter* c_submitted_;
+  trace::Counter* c_launched_;
+  trace::Counter* c_placed_;
+  trace::Counter* c_finished_;
+  trace::Counter* c_crashed_;
+  trace::Counter* c_dropped_;
+  trace::Counter* c_queued_;
+  trace::Counter* c_storm_begun_;
+  trace::Counter* c_storm_finished_;
+  trace::Counter* c_storm_crashed_;
+  trace::Gauge* g_sessions_;
+  trace::Gauge* g_running_;
+  trace::Gauge* g_backlog_;
+};
+
+}  // namespace sprite::wl

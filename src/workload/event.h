@@ -1,0 +1,40 @@
+// The workload-event vocabulary: everything the trace-driven engine can do
+// to a cluster, as plain data.
+//
+// A workload is a time-ordered stream of these events. The stream comes
+// either from the Generator (a pure function of SessionSpec + seed — see
+// session.h) or from a recorded binary trace (trace_file.h); the Engine
+// (engine.h) applies it to a live cluster either way, so a generated run and
+// its replay are byte-for-byte the same experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/ids.h"
+#include "sim/time.h"
+
+namespace sprite::wl {
+
+enum class EvKind : std::uint8_t {
+  kSessionBegin = 0,  // a user sits down at `host` (a0 = user id)
+  kKeystroke,         // user input at `host` (owner-return eviction trigger)
+  kSessionEnd,        // the user walks away (a0 = user id)
+  kBatchSubmit,       // submit a batch job at `host` (a0 = CPU demand, us)
+  kStorm,             // pmake compile storm from `host` (a0 = files,
+                      //   a1 = per-file compile CPU, us)
+};
+inline constexpr int kNumEvKinds = 5;
+
+const char* ev_kind_name(EvKind k);
+
+struct WorkloadEvent {
+  sim::Time at;                        // absolute simulated time
+  EvKind kind = EvKind::kKeystroke;
+  sim::HostId host = sim::kInvalidHost;
+  std::int64_t a0 = 0;                 // kind-specific payload
+  std::int64_t a1 = 0;
+
+  friend bool operator==(const WorkloadEvent&, const WorkloadEvent&) = default;
+};
+
+}  // namespace sprite::wl

@@ -1,4 +1,6 @@
-#include "apps/workload.h"
+#include "workload/policy.h"
+
+#include <algorithm>
 
 #include "apps/pmake.h"
 #include "kern/cluster.h"
@@ -6,96 +8,12 @@
 #include "proc/script.h"
 #include "proc/table.h"
 #include "util/assert.h"
-#include "util/log.h"
 
-namespace sprite::apps {
+namespace sprite::wl {
 
 using proc::Pid;
 using sim::HostId;
 using sim::Time;
-
-// ---------------------------------------------------------------------------
-// UserActivityModel
-// ---------------------------------------------------------------------------
-
-UserActivityModel::Profile UserActivityModel::Profile::office() {
-  Profile p;
-  p.weekend_factor = 0.5;
-  for (int h = 0; h < 24; ++h) {
-    if (h >= 9 && h < 18) {
-      p.presence[static_cast<std::size_t>(h)] = 0.46;  // office hours
-    } else if (h >= 18 && h < 21) {
-      p.presence[static_cast<std::size_t>(h)] = 0.34;  // evening stragglers
-    } else {
-      p.presence[static_cast<std::size_t>(h)] = 0.26;  // night owls
-    }
-  }
-  return p;
-}
-
-UserActivityModel::UserActivityModel(kern::Cluster& cluster, Profile profile)
-    : cluster_(cluster),
-      profile_(profile),
-      rng_(cluster.sim().fork_rng()) {}
-
-void UserActivityModel::start() {
-  for (HostId w : cluster_.workstations()) {
-    present_[w] = false;
-    const Time stagger = Time::sec(rng_.uniform(0.0, 60.0));
-    cluster_.sim().after(stagger, [this, w] { cycle(w); });
-  }
-}
-
-bool UserActivityModel::user_present(HostId h) const {
-  auto it = present_.find(h);
-  return it != present_.end() && it->second;
-}
-
-double UserActivityModel::presence_now() const {
-  const double hours_total = cluster_.sim().now().h();
-  const int hour = static_cast<int>(hours_total) % 24;
-  const int day = (static_cast<int>(hours_total) / 24) % 7;
-  double p = profile_.presence[static_cast<std::size_t>(hour)];
-  if (day >= 5) p *= profile_.weekend_factor;
-  return p;
-}
-
-void UserActivityModel::cycle(HostId h) {
-  if (rng_.bernoulli(presence_now())) {
-    present_[h] = true;
-    cluster_.host(h).note_user_input();
-    const Time session =
-        Time::sec(rng_.exponential(profile_.mean_session.s()));
-    keystrokes(h, cluster_.sim().now() + session);
-  } else {
-    present_[h] = false;
-    const Time absence =
-        Time::sec(rng_.exponential(profile_.mean_absence.s()));
-    cluster_.sim().after(absence, [this, h] { cycle(h); });
-  }
-}
-
-void UserActivityModel::keystrokes(HostId h, Time session_end) {
-  const Time gap =
-      Time::sec(rng_.exponential(profile_.mean_keystroke_gap.s()));
-  const Time next = cluster_.sim().now() + gap;
-  if (next >= session_end) {
-    // Session over; the user walks away.
-    cluster_.sim().at(session_end, [this, h] {
-      present_[h] = false;
-      cycle(h);
-    });
-    return;
-  }
-  cluster_.sim().at(next, [this, h, session_end] {
-    cluster_.host(h).note_user_input();
-    keystrokes(h, session_end);
-  });
-}
-
-// ---------------------------------------------------------------------------
-// PolicyWorkload
-// ---------------------------------------------------------------------------
 
 const char* PolicyWorkload::policy_name(Policy p) {
   switch (p) {
@@ -213,7 +131,7 @@ void PolicyWorkload::rebalance() {
 }
 
 PolicyWorkload::Result PolicyWorkload::run() {
-  install_rexec(cluster_);
+  apps::install_rexec(cluster_);
   if (cluster_.find_program("/bin/job") == nullptr) {
     proc::ProgramImage job;
     job.code_pages = 8;
@@ -243,4 +161,4 @@ PolicyWorkload::Result PolicyWorkload::run() {
   return std::move(result_);
 }
 
-}  // namespace sprite::apps
+}  // namespace sprite::wl

@@ -1,0 +1,75 @@
+// PolicyWorkload: the placement-vs-migration policy experiment (E10).
+//
+// Jobs with Zhou lifetimes arrive at every workstation; policies range from
+// "run at home" through exec-time placement to placement plus periodic
+// rebalancing of long-running processes (Cabrera's heuristic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "loadshare/facility.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/session.h"
+
+namespace sprite::kern {
+class Cluster;
+}
+
+namespace sprite::wl {
+
+class PolicyWorkload {
+ public:
+  enum class Policy : int {
+    kNone = 0,        // every job runs at home
+    kPlacement,       // exec-time placement of jobs arriving at busy hosts
+    kPlacementPlusMigration,  // placement + periodic rebalancing of
+                              // long-running processes
+  };
+  static const char* policy_name(Policy p);
+
+  struct Options {
+    Policy policy = Policy::kNone;
+    // Poisson arrival rate of jobs per workstation.
+    double arrivals_per_host_hz = 0.3;
+    sim::Time duration = sim::Time::minutes(10);
+    // Rebalance scan period for kPlacementPlusMigration.
+    sim::Time rebalance_period = sim::Time::sec(5);
+    // A process is "known long-running" once it has lived this long
+    // (Cabrera's heuristic).
+    sim::Time long_running_age = sim::Time::sec(2);
+  };
+
+  struct Result {
+    util::Distribution response_s;  // completion - arrival
+    util::Distribution slowdown;    // response / cpu demand
+    int jobs_submitted = 0;
+    int jobs_finished = 0;
+    int placed_remotely = 0;
+    int active_migrations = 0;
+  };
+
+  PolicyWorkload(kern::Cluster& cluster, ls::Facility& facility,
+                 Options options);
+
+  // Runs to completion (all submitted jobs finished); returns the result.
+  Result run();
+
+ private:
+  void arrival(sim::HostId h);
+  void submit(sim::HostId h, sim::Time lifetime);
+  void rebalance();
+
+  kern::Cluster& cluster_;
+  ls::Facility& facility_;
+  Options options_;
+  util::Rng rng_;
+  ZhouLifetimes lifetimes_;
+  Result result_;
+  int outstanding_ = 0;
+  sim::Time deadline_;  // no arrivals after this instant
+};
+
+}  // namespace sprite::wl

@@ -1,0 +1,159 @@
+#include "workload/session.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace sprite::wl {
+
+using sim::Time;
+
+DiurnalProfile DiurnalProfile::office() {
+  DiurnalProfile p;
+  p.weekend_factor = 0.5;
+  for (int h = 0; h < 24; ++h) {
+    if (h >= 9 && h < 18) {
+      p.presence[static_cast<std::size_t>(h)] = 0.46;  // office hours
+    } else if (h >= 18 && h < 21) {
+      p.presence[static_cast<std::size_t>(h)] = 0.34;  // evening stragglers
+    } else {
+      p.presence[static_cast<std::size_t>(h)] = 0.26;  // night owls
+    }
+  }
+  return p;
+}
+
+double DiurnalProfile::at(Time t) const {
+  const double hours_total = t.h();
+  const int hour = static_cast<int>(hours_total) % 24;
+  const int day = (static_cast<int>(hours_total) / 24) % 7;
+  double p = presence[static_cast<std::size_t>(hour)];
+  if (day >= 5) p *= weekend_factor;
+  return p;
+}
+
+Generator::Generator(SessionSpec spec, std::vector<sim::HostId> hosts,
+                     std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  SPRITE_CHECK_MSG(!hosts.empty(), "workload generator needs >= 1 host");
+  SPRITE_CHECK_MSG(spec_.users > 0, "workload generator needs >= 1 user");
+  util::Rng master(seed);
+  users_.reserve(static_cast<std::size_t>(spec_.users));
+  for (int u = 0; u < spec_.users; ++u) {
+    // Fork in fixed user order so each user's stream depends only on
+    // (seed, u) — never on how other users' events interleave.
+    util::Rng r = master.fork();
+    util::Rng lt = master.fork();
+    users_.emplace_back(std::move(r), std::move(lt),
+                        hosts[static_cast<std::size_t>(u) % hosts.size()]);
+    // Stagger first decisions inside the first minute, as the interactive
+    // model always did, so 1000 users don't all wake on the same tick.
+    users_.back().clock = Time::sec(users_.back().rng.uniform(0.0, 60.0));
+  }
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    refill(u);
+    push_ready(u);
+  }
+}
+
+void Generator::push_ready(std::size_t u) {
+  if (!users_[u].pending.empty())
+    ready_.push({users_[u].pending.front().at.us(), u});
+}
+
+void Generator::generate_session(User& user, std::int64_t uid, Time start) {
+  const Time length = Time::sec(user.rng.exponential(spec_.mean_session.s()));
+  const Time end = start + std::max(Time::usec(1), length);
+
+  std::vector<WorkloadEvent> evs;
+  evs.push_back({start, EvKind::kSessionBegin, user.host, uid, 0});
+
+  // Keystrokes at exponential gaps until the session ends.
+  for (Time t = start;;) {
+    t += Time::sec(user.rng.exponential(spec_.mean_keystroke_gap.s()));
+    if (t >= end) break;
+    evs.push_back({t, EvKind::kKeystroke, user.host, uid, 0});
+  }
+
+  // Batch submissions: Poisson arrivals while present. CPU demand is a Zhou
+  // lifetime, except for the occasional long job (the autocheckpoint fodder).
+  if (spec_.batch_per_hour > 0) {
+    const double mean_gap_s = 3600.0 / spec_.batch_per_hour;
+    for (Time t = start;;) {
+      t += Time::sec(user.rng.exponential(mean_gap_s));
+      if (t >= end) break;
+      std::int64_t cpu_us;
+      if (user.rng.bernoulli(spec_.long_batch_fraction)) {
+        cpu_us = static_cast<std::int64_t>(user.rng.uniform(
+            spec_.long_batch_min.s(), spec_.long_batch_max.s()) * 1e6);
+      } else {
+        cpu_us = user.lifetimes.next().us();
+      }
+      evs.push_back(
+          {t, EvKind::kBatchSubmit, user.host, std::max<std::int64_t>(1, cpu_us), 0});
+    }
+  }
+
+  // At most one compile storm per session, at a uniform instant inside it.
+  if (user.rng.bernoulli(spec_.storm_per_session)) {
+    const Time at = start + (end - start) * user.rng.next_double();
+    const auto files = user.rng.uniform_int(spec_.storm_files_min,
+                                            spec_.storm_files_max);
+    const auto cpu_us = std::max<std::int64_t>(
+        1000,
+        static_cast<std::int64_t>(
+            user.rng.exponential(spec_.storm_mean_compile_cpu.s()) * 1e6));
+    evs.push_back({at, EvKind::kStorm, user.host, files, cpu_us});
+  }
+
+  evs.push_back({end, EvKind::kSessionEnd, user.host, uid, 0});
+
+  // Stable-order the merged sub-streams: time, then original emit order.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     return a.at < b.at;
+                   });
+  for (auto& e : evs) user.pending.push_back(e);
+  user.clock = end;
+}
+
+void Generator::refill(std::size_t u) {
+  User& user = users_[u];
+  while (user.pending.empty() && !user.done) {
+    if (user.clock >= spec_.horizon) {
+      user.done = true;
+      return;
+    }
+    if (user.rng.bernoulli(spec_.profile.at(user.clock))) {
+      generate_session(user, static_cast<std::int64_t>(u), user.clock);
+    } else {
+      user.clock +=
+          Time::sec(user.rng.exponential(spec_.mean_absence.s()));
+    }
+  }
+}
+
+bool Generator::next(WorkloadEvent* out) {
+  while (!ready_.empty()) {
+    const auto [at_us, u] = ready_.top();
+    ready_.pop();
+    User& user = users_[u];
+    if (user.pending.empty()) continue;  // stale heap entry
+    SPRITE_CHECK(user.pending.front().at.us() == at_us);
+    *out = user.pending.front();
+    user.pending.pop_front();
+    if (user.pending.empty()) refill(u);
+    push_ready(u);
+    return true;
+  }
+  return false;
+}
+
+std::vector<WorkloadEvent> Generator::all() {
+  std::vector<WorkloadEvent> evs;
+  WorkloadEvent e;
+  while (next(&e)) evs.push_back(e);
+  return evs;
+}
+
+}  // namespace sprite::wl

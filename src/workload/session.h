@@ -1,0 +1,133 @@
+// User-session models: the stochastic half of the workload engine.
+//
+// A Generator turns (SessionSpec, host list, seed) into a time-ordered
+// stream of WorkloadEvents — a pure function with no simulator attached, so
+// the exact same stream can be recorded to a trace, replayed, or fed
+// straight into a live Engine. Each simulated user follows the diurnal
+// presence model the evaluation chapter calibrated (office hours, evening
+// stragglers, night owls, quiet weekends): present users type, submit batch
+// jobs with Zhou's heavy-tailed CPU demands, and occasionally kick off pmake
+// compile storms; absent users leave their workstation idle and evictable.
+//
+// Determinism: every user forks a private Rng from the master seed in user
+// order, and the cross-user merge breaks time ties by user index, so the
+// event stream is a deterministic function of (spec, hosts, seed) —
+// independent of platform, map iteration order, or anything the simulator
+// does with the events.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+#include "workload/event.h"
+
+namespace sprite::wl {
+
+// Probability that a cycle starting at a given hour finds the user present.
+struct DiurnalProfile {
+  std::array<double, 24> presence;
+  // Presence multiplier on days 5 and 6 of each simulated week.
+  double weekend_factor = 0.3;
+
+  // Office-hours default, calibrated so 65-70 % of hosts are idle during the
+  // day and ~80 % at night (experiment E7).
+  static DiurnalProfile office();
+
+  // Presence probability at an absolute simulated instant (epoch = Monday
+  // 00:00).
+  double at(sim::Time t) const;
+};
+
+// Zhou's process-lifetime distribution [Zho87]: two-phase hyperexponential
+// with mean 1.5 s and standard deviation ~19-20 s.
+class ZhouLifetimes {
+ public:
+  explicit ZhouLifetimes(util::Rng rng) : rng_(std::move(rng)) {}
+  sim::Time next() {
+    return sim::Time::sec(rng_.hyperexponential(0.994, 0.4, 183.7));
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+struct SessionSpec {
+  int users = 48;
+  sim::Time horizon = sim::Time::hours(24);
+  DiurnalProfile profile = DiurnalProfile::office();
+
+  sim::Time mean_session = sim::Time::minutes(25);
+  sim::Time mean_absence = sim::Time::minutes(45);
+  sim::Time mean_keystroke_gap = sim::Time::sec(4);
+
+  // Poisson rate of batch submissions while a user is present; CPU demand
+  // per job is a Zhou lifetime.
+  double batch_per_hour = 4.0;
+
+  // A small fraction of batch jobs are long-running (simulations, document
+  // builds) with uniform CPU demand in [long_batch_min, long_batch_max] —
+  // the jobs autocheckpoint and crash-restart exist for.
+  double long_batch_fraction = 0.08;
+  sim::Time long_batch_min = sim::Time::minutes(2);
+  sim::Time long_batch_max = sim::Time::minutes(10);
+
+  // Probability a session includes one pmake storm, and its shape.
+  double storm_per_session = 0.12;
+  int storm_files_min = 4;
+  int storm_files_max = 12;
+  sim::Time storm_mean_compile_cpu = sim::Time::sec(2);
+};
+
+// Pull-based event source: next() yields events in non-decreasing time order
+// until the horizon exhausts every user.
+class Generator {
+ public:
+  // Users are assigned round-robin to `hosts` (user u sits at
+  // hosts[u % hosts.size()]).
+  Generator(SessionSpec spec, std::vector<sim::HostId> hosts,
+            std::uint64_t seed);
+
+  const SessionSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // Fills *out with the next event; false once the stream is exhausted.
+  bool next(WorkloadEvent* out);
+
+  // Drains the whole stream (record helper; also used by tests).
+  std::vector<WorkloadEvent> all();
+
+ private:
+  struct User {
+    util::Rng rng;
+    ZhouLifetimes lifetimes;
+    sim::HostId host = sim::kInvalidHost;
+    sim::Time clock;              // next cycle decision instant
+    std::deque<WorkloadEvent> pending;
+    bool done = false;
+
+    User(util::Rng r, util::Rng lt, sim::HostId h)
+        : rng(std::move(r)), lifetimes(std::move(lt)), host(h) {}
+  };
+
+  // Advances user u until it has pending events or passes the horizon.
+  void refill(std::size_t u);
+  void generate_session(User& user, std::int64_t uid, sim::Time start);
+  void push_ready(std::size_t u);
+
+  SessionSpec spec_;
+  std::uint64_t seed_;
+  std::vector<User> users_;
+  // Min-heap of (event time us, user index): deterministic cross-user merge.
+  using HeapItem = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      ready_;
+};
+
+}  // namespace sprite::wl

@@ -1,0 +1,228 @@
+#include "workload/soak.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "ckpt/manager.h"
+#include "proc/table.h"
+#include "sim/cpu.h"
+#include "util/assert.h"
+
+namespace sprite::wl {
+
+using sim::HostId;
+using sim::Time;
+
+namespace {
+
+// Per-host metrics summed cluster-wide (plus the unscoped slot).
+std::int64_t sum_counter(const kern::Cluster& cluster,
+                         const trace::Registry& tr, const std::string& name) {
+  std::int64_t total = tr.counter_value(name, sim::kInvalidHost);
+  for (std::size_t h = 0; h < cluster.num_hosts(); ++h)
+    total += tr.counter_value(name, static_cast<HostId>(h));
+  return total;
+}
+
+}  // namespace
+
+SoakHarness::SoakHarness(SoakOptions opts) : opts_(opts) {
+  kern::Cluster::Config cfg;
+  cfg.num_workstations = opts_.workstations;
+  cfg.num_file_servers = 1;
+  cfg.seed = opts_.seed;
+  // Slack past the session horizon: crash detection, restarts, and the last
+  // batch jobs drain after the final event; recurring activity (monitor
+  // probes, autockpt scans) must keep ticking while they do.
+  cfg.horizon = opts_.sessions.horizon + Time::hours(4);
+  cluster_ = std::make_unique<kern::Cluster>(cfg);
+  facility_ = std::make_unique<ls::Facility>(*cluster_, ls::Arch::kCentral);
+
+  if (opts_.faults) {
+    faults_ = std::make_unique<sim::FaultPlan>(cluster_->sim(),
+                                               cluster_->net());
+    schedule_faults();
+    faults_->arm({.crash = [this](HostId h) { cluster_->crash_host(h); },
+                  .reboot = [this](HostId h) { cluster_->reboot_host(h); }});
+  }
+
+  if (opts_.autocheckpoint) {
+    for (HostId w : cluster_->workstations()) {
+      auto& ck = cluster_->host(w).ckpt();
+      ck.set_auto_policy(opts_.ckpt_interval, opts_.ckpt_dirty_threshold);
+      ck.enable_autocheckpoint(true);
+    }
+  }
+
+  engine_ = std::make_unique<Engine>(*cluster_, facility_.get(), opts_.engine);
+
+  trace::Registry& tr = cluster_->sim().trace();
+  g_foreign_resident_ = &tr.gauge("soak.residency.foreign");
+  g_util_recovered_ = &tr.gauge("soak.util.recovered");
+  cluster_->sim().every(opts_.sample_period, [this] { sample(); });
+}
+
+SoakHarness::~SoakHarness() = default;
+
+void SoakHarness::schedule_faults() {
+  const auto ws = cluster_->workstations();
+  const auto n = ws.size();
+  const Time horizon = opts_.sessions.horizon;
+
+  // Rotating workstation crashes — never the file server: it holds the
+  // shared FS, the checkpoint images, and migd, and the thesis's failure
+  // model keeps servers on conditioned power.
+  std::size_t i = 0;
+  for (Time t = opts_.crash_period; t + opts_.reboot_after < horizon;
+       t += opts_.crash_period, ++i) {
+    faults_->crash_host(ws[i % n], t, opts_.reboot_after);
+  }
+
+  if (!opts_.partitions || n < 6) return;
+  // A rotating trio of workstations loses touch with everyone else (file
+  // server included), then the partition heals and reintegration runs.
+  std::size_t k = 0;
+  for (Time t = opts_.partition_period;
+       t + opts_.partition_heal < horizon;
+       t += opts_.partition_period, ++k) {
+    std::vector<HostId> island = {ws[(3 * k) % n], ws[(3 * k + 1) % n],
+                                  ws[(3 * k + 2) % n]};
+    std::vector<HostId> mainland;
+    for (std::size_t h = 0; h < cluster_->num_hosts(); ++h) {
+      const auto id = static_cast<HostId>(h);
+      if (std::find(island.begin(), island.end(), id) == island.end())
+        mainland.push_back(id);
+    }
+    faults_->partition(island, mainland, t, t + opts_.partition_heal);
+  }
+}
+
+void SoakHarness::sample() {
+  // Residency only: foreign CPU is accounted where it burns, by the kernel
+  // (proc.cpu.foreign_us), so short-lived foreign processes that start and
+  // exit between samples are never missed.
+  std::int64_t foreign_now = 0;
+  for (std::size_t h = 0; h < cluster_->num_hosts(); ++h) {
+    kern::Host& host = cluster_->host(static_cast<HostId>(h));
+    if (!host.up()) continue;
+    for (const auto& pcb : host.procs().local_processes())
+      if (pcb->foreign()) ++foreign_now;
+  }
+  g_foreign_resident_->set(static_cast<double>(foreign_now));
+  foreign_resident_sum_ += foreign_now;
+  ++samples_;
+}
+
+double SoakHarness::eviction_percentile(double q) const {
+  const auto bounds = trace::default_latency_bounds_ms();
+  std::vector<std::int64_t> counts(bounds.size() + 1, 0);
+  std::int64_t total = 0;
+  trace::Registry& tr = cluster_->sim().trace();
+  for (HostId w : cluster_->workstations()) {
+    auto& h = tr.histogram("ls.eviction.latency_ms",
+                           trace::default_latency_bounds_ms(), w);
+    for (std::size_t b = 0; b < counts.size(); ++b) counts[b] += h.bucket(b);
+    total += h.count();
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double next = cum + static_cast<double>(counts[b]);
+    if (next >= target && counts[b] > 0) {
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      if (b == bounds.size()) return lo;  // overflow bucket: report its floor
+      const double hi = bounds[b];
+      return lo + (hi - lo) * (target - cum) /
+                      static_cast<double>(counts[b]);
+    }
+    cum = next;
+  }
+  return bounds.back();
+}
+
+SoakReport SoakHarness::run() {
+  engine_->start(opts_.sessions, opts_.seed);
+  cluster_->run_until_done([this] { return engine_->drained(); });
+  return finish();
+}
+
+SoakReport SoakHarness::run_replay(ParsedTrace trace) {
+  engine_->start_replay(std::move(trace));
+  cluster_->run_until_done([this] { return engine_->drained(); });
+  return finish();
+}
+
+SoakReport SoakHarness::finish() {
+  sample();  // final residency reading
+
+  SoakReport r;
+  r.workload = engine_->summary();
+  r.audit = audit_incarnations(*cluster_, engine_->jobs());
+
+  r.foreign_cpu_s = static_cast<double>(sum_counter(
+                        *cluster_, cluster_->sim().trace(),
+                        "proc.cpu.foreign_us")) /
+                    1e6;
+  for (std::size_t h = 0; h < cluster_->num_hosts(); ++h)
+    r.total_user_cpu_s += cluster_->host(static_cast<HostId>(h))
+                              .cpu()
+                              .busy_time(sim::JobClass::kUser)
+                              .s();
+  r.utilization_recovered =
+      r.total_user_cpu_s > 0.0 ? r.foreign_cpu_s / r.total_user_cpu_s : 0.0;
+  g_util_recovered_->set(r.utilization_recovered);
+
+  const trace::Registry& tr = cluster_->sim().trace();
+  for (HostId w : cluster_->workstations())
+    r.evictions += tr.counter_value("ls.eviction.triggered", w);
+  r.evict_p50_ms = eviction_percentile(0.50);
+  r.evict_p90_ms = eviction_percentile(0.90);
+  r.evict_p99_ms = eviction_percentile(0.99);
+
+  r.avg_foreign_resident =
+      samples_ > 0 ? static_cast<double>(foreign_resident_sum_) /
+                         static_cast<double>(samples_)
+                   : 0.0;
+
+  r.crashes = sum_counter(*cluster_, tr, "fault.crash.injected");
+  r.reboots = sum_counter(*cluster_, tr, "fault.reboot.injected");
+  r.links_cut = sum_counter(*cluster_, tr, "fault.link.cut");
+  r.checkpoints = sum_counter(*cluster_, tr, "ckpt.capture.completed");
+  r.restarts = sum_counter(*cluster_, tr, "ckpt.restart.completed");
+  r.evicted_processes = sum_counter(*cluster_, tr, "mig.eviction.completed");
+  return r;
+}
+
+std::string SoakReport::to_string() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "soak: %lld sessions (%lld jobs: %lld finished, %lld crashed, %lld "
+      "dropped; %lld storms + %lld crashed)\n"
+      "  utilization recovered by migration: %.2f%% (%.1fs foreign of %.1fs "
+      "user CPU)\n"
+      "  evictions: %lld (latency p50 %.2fms, p90 %.2fms, p99 %.2fms)\n"
+      "  foreign residency: %.2f processes avg\n"
+      "  faults: %lld crashes, %lld reboots, %lld links cut; %lld "
+      "checkpoints, %lld restarts, %lld processes evicted\n"
+      "  audit: %s (%lld lost, %lld duplicated)",
+      static_cast<long long>(workload.sessions_begun),
+      static_cast<long long>(workload.jobs_submitted),
+      static_cast<long long>(workload.jobs_finished),
+      static_cast<long long>(workload.jobs_crashed),
+      static_cast<long long>(workload.jobs_dropped),
+      static_cast<long long>(workload.storms_finished),
+      static_cast<long long>(workload.storms_crashed),
+      utilization_recovered * 100.0, foreign_cpu_s, total_user_cpu_s,
+      static_cast<long long>(evictions), evict_p50_ms, evict_p90_ms,
+      evict_p99_ms, avg_foreign_resident, static_cast<long long>(crashes),
+      static_cast<long long>(reboots), static_cast<long long>(links_cut),
+      static_cast<long long>(checkpoints), static_cast<long long>(restarts),
+      static_cast<long long>(evicted_processes),
+      audit.ok() ? "OK" : "FAILED", static_cast<long long>(audit.lost),
+      static_cast<long long>(audit.duplicated));
+  return buf;
+}
+
+}  // namespace sprite::wl

@@ -1,0 +1,126 @@
+// Long-horizon soak harness: the workload engine layered over faults,
+// partitions, and autocheckpoint for week-scale simulated runs.
+//
+// The harness assembles a full cluster (file server + workstations, central
+// load-sharing facility with owner-return eviction armed), drives it with a
+// generated or replayed multi-user workload, injects a rotating schedule of
+// workstation crashes and network partitions, keeps autocheckpoint running
+// so crashed work restarts instead of dying, and — the paper's headline
+// numbers — reports how much CPU migration recovered from idle
+// workstations, how fast owners got their machines back, and how much
+// foreign work was resident over the horizon. Every run ends with the
+// incarnation audit (audit.h): a soak that loses or duplicates a single
+// process incarnation fails.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kern/cluster.h"
+#include "loadshare/facility.h"
+#include "sim/fault.h"
+#include "workload/audit.h"
+#include "workload/engine.h"
+#include "workload/session.h"
+
+namespace sprite::wl {
+
+struct SoakOptions {
+  int workstations = 24;
+  std::uint64_t seed = 1;
+  SessionSpec sessions;        // users, horizon, rates
+  Engine::Options engine;
+
+  // Fault schedule: one workstation crash per crash_period (rotating, never
+  // the file server — migd lives there), rebooting reboot_after later; one
+  // partition per partition_period isolating a rotating trio of
+  // workstations, healing after partition_heal.
+  bool faults = true;
+  sim::Time crash_period = sim::Time::hours(6);
+  sim::Time reboot_after = sim::Time::minutes(2);
+  bool partitions = true;
+  sim::Time partition_period = sim::Time::hours(12);
+  sim::Time partition_heal = sim::Time::minutes(1);
+
+  // Autocheckpoint: the interval must sit inside the long-batch lifetime
+  // range (SessionSpec::long_batch_min/max) or no job ever lives long
+  // enough to be captured.
+  bool autocheckpoint = true;
+  sim::Time ckpt_interval = sim::Time::minutes(3);
+  std::int64_t ckpt_dirty_threshold = 256;
+
+  // Foreign-CPU / residency sampling cadence.
+  sim::Time sample_period = sim::Time::sec(10);
+};
+
+struct SoakReport {
+  Engine::Summary workload;
+  AuditResult audit;
+
+  // CPU the cluster delivered to migrated-in (foreign) processes vs all
+  // user CPU: the utilization migration recovered from idle workstations.
+  double foreign_cpu_s = 0.0;
+  double total_user_cpu_s = 0.0;
+  double utilization_recovered = 0.0;  // foreign / total, 0 when no CPU
+
+  // Owner-return eviction latency percentiles (ms), merged across hosts.
+  std::int64_t evictions = 0;
+  double evict_p50_ms = 0.0;
+  double evict_p90_ms = 0.0;
+  double evict_p99_ms = 0.0;
+
+  // Mean number of foreign processes resident cluster-wide per sample.
+  double avg_foreign_resident = 0.0;
+
+  std::int64_t crashes = 0;
+  std::int64_t reboots = 0;
+  std::int64_t links_cut = 0;
+  std::int64_t checkpoints = 0;
+  std::int64_t restarts = 0;
+  std::int64_t evicted_processes = 0;
+
+  std::string to_string() const;
+};
+
+class SoakHarness {
+ public:
+  explicit SoakHarness(SoakOptions opts);
+  ~SoakHarness();
+
+  kern::Cluster& cluster() { return *cluster_; }
+  Engine& engine() { return *engine_; }
+
+  // Generates the workload from opts.seed and runs to drained. Call run()
+  // or run_replay() exactly once per harness.
+  SoakReport run();
+  // Replays a previously recorded trace instead of generating.
+  SoakReport run_replay(ParsedTrace trace);
+
+  // After a run with engine.record: the trace bytes of this run.
+  std::vector<std::uint8_t> take_recorded_trace() {
+    return engine_->take_recorded_trace();
+  }
+
+ private:
+  void schedule_faults();
+  void sample();
+  SoakReport finish();
+  // Percentile (0 < q < 1) over the merged per-host eviction histograms,
+  // with linear interpolation inside the winning bucket.
+  double eviction_percentile(double q) const;
+
+  SoakOptions opts_;
+  std::unique_ptr<kern::Cluster> cluster_;
+  std::unique_ptr<ls::Facility> facility_;
+  std::unique_ptr<sim::FaultPlan> faults_;
+  std::unique_ptr<Engine> engine_;
+
+  std::int64_t samples_ = 0;
+  std::int64_t foreign_resident_sum_ = 0;
+
+  trace::Gauge* g_foreign_resident_;
+  trace::Gauge* g_util_recovered_;
+};
+
+}  // namespace sprite::wl

@@ -1,0 +1,174 @@
+#include "workload/trace_file.h"
+
+#include <fstream>
+
+#include "util/assert.h"
+#include "util/codec.h"
+
+namespace sprite::wl {
+
+namespace {
+
+constexpr std::uint8_t kFooterSentinel = 0xFF;
+constexpr std::size_t kHeaderBytes = 16;  // magic u32, fmt u16, rsvd u16, seed
+constexpr std::size_t kFooterBytes = 17;  // sentinel u8, count u64, sum u64
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* ev_kind_name(EvKind k) {
+  switch (k) {
+    case EvKind::kSessionBegin: return "session-begin";
+    case EvKind::kKeystroke: return "keystroke";
+    case EvKind::kSessionEnd: return "session-end";
+    case EvKind::kBatchSubmit: return "batch-submit";
+    case EvKind::kStorm: return "storm";
+  }
+  return "?";
+}
+
+TraceWriter::TraceWriter(std::uint64_t seed) {
+  put_u32(buf_, kTraceMagic);
+  put_u16(buf_, kTraceFormat);
+  put_u16(buf_, 0);  // reserved
+  put_u64(buf_, seed);
+}
+
+void TraceWriter::add(const WorkloadEvent& ev) {
+  SPRITE_CHECK_MSG(!finished_, "TraceWriter::add after finish");
+  SPRITE_CHECK_MSG(ev.at >= last_, "workload events must be time-ordered");
+  SPRITE_CHECK_MSG(ev.host >= 0, "workload events need a real host");
+  util::Encoder e;
+  e.put_varint(static_cast<std::uint64_t>((ev.at - last_).us()));
+  e.put_u8(static_cast<std::uint8_t>(ev.kind));
+  e.put_varint(static_cast<std::uint64_t>(ev.host));
+  e.put_zigzag(ev.a0);
+  e.put_zigzag(ev.a1);
+  const auto& b = e.bytes();
+  buf_.insert(buf_.end(), b.begin(), b.end());
+  last_ = ev.at;
+  ++count_;
+}
+
+std::vector<std::uint8_t> TraceWriter::finish() {
+  SPRITE_CHECK_MSG(!finished_, "TraceWriter::finish called twice");
+  finished_ = true;
+  const std::uint64_t sum = fnv1a(buf_.data(), buf_.size());
+  buf_.push_back(kFooterSentinel);
+  put_u64(buf_, static_cast<std::uint64_t>(count_));
+  put_u64(buf_, sum);
+  return std::move(buf_);
+}
+
+std::vector<std::uint8_t> encode_trace(std::uint64_t seed,
+                                       const std::vector<WorkloadEvent>& evs) {
+  TraceWriter w(seed);
+  for (const auto& e : evs) w.add(e);
+  return w.finish();
+}
+
+util::Result<ParsedTrace> decode_trace(
+    const std::vector<std::uint8_t>& bytes) {
+  using util::Err;
+  if (bytes.size() < kHeaderBytes + kFooterBytes)
+    return {Err::kInval, "trace too short for header + footer"};
+
+  // The footer is fixed-width at the very end, so its position — and with it
+  // the checksum range — is unambiguous regardless of event payloads.
+  const std::size_t body_end = bytes.size() - kFooterBytes;
+  if (bytes[body_end] != kFooterSentinel)
+    return {Err::kInval, "trace footer sentinel missing (truncated?)"};
+  const std::uint64_t want_count = get_u64(bytes.data() + body_end + 1);
+  const std::uint64_t want_sum = get_u64(bytes.data() + body_end + 9);
+  if (fnv1a(bytes.data(), body_end) != want_sum)
+    return {Err::kInval, "trace checksum mismatch"};
+
+  const std::vector<std::uint8_t> body(bytes.begin(),
+                                       bytes.begin() + static_cast<std::ptrdiff_t>(body_end));
+  util::Decoder d(body);
+  const auto magic = static_cast<std::uint32_t>(d.u8()) |
+                     static_cast<std::uint32_t>(d.u8()) << 8 |
+                     static_cast<std::uint32_t>(d.u8()) << 16 |
+                     static_cast<std::uint32_t>(d.u8()) << 24;
+  if (magic != kTraceMagic) return {Err::kInval, "bad trace magic"};
+  const auto format = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(d.u8()) |
+      static_cast<std::uint16_t>(d.u8()) << 8);
+  if (format != kTraceFormat) return {Err::kInval, "unsupported trace format"};
+  d.u8();  // reserved
+  d.u8();
+
+  ParsedTrace out;
+  out.seed = d.u64();
+  if (!d.ok()) return {Err::kInval, "trace truncated in header"};
+
+  sim::Time t;
+  while (!d.at_end()) {
+    const std::uint64_t delta = d.varint();
+    const std::uint8_t kind = d.u8();
+    if (!d.ok()) return {Err::kInval, "trace truncated mid-event"};
+    if (kind >= kNumEvKinds) return {Err::kInval, "unknown event kind"};
+    t += sim::Time::usec(static_cast<std::int64_t>(delta));
+    WorkloadEvent ev;
+    ev.at = t;
+    ev.kind = static_cast<EvKind>(kind);
+    ev.host = static_cast<sim::HostId>(d.varint());
+    ev.a0 = d.zigzag();
+    ev.a1 = d.zigzag();
+    if (!d.ok()) return {Err::kInval, "trace truncated mid-event"};
+    out.events.push_back(ev);
+  }
+  if (out.events.size() != want_count)
+    return {Err::kInval, "trace event count mismatch"};
+  return out;
+}
+
+util::Status write_trace_file(const std::string& path,
+                              const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return util::Status(util::Err::kNoEnt, "cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  if (!f) return util::Status(util::Err::kNoSpace, "short write to " + path);
+  return util::Status::ok();
+}
+
+util::Result<ParsedTrace> read_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {util::Err::kNoEnt, "cannot open " + path};
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return decode_trace(bytes);
+}
+
+}  // namespace sprite::wl

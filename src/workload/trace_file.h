@@ -1,0 +1,69 @@
+// Compact binary workload traces: record <-> replay, byte-identical.
+//
+// Layout (little-endian throughout, built on util/codec):
+//
+//   header   magic "SPWT", format u16, reserved u16, seed u64
+//   events   per event: varint delta-us from the previous event,
+//            u8 kind, varint host, zigzag a0, zigzag a1
+//   footer   fixed-width trailer: u8 0xFF sentinel, u64 event count,
+//            u64 FNV-1a checksum of every byte before the sentinel
+//
+// Timestamps are monotone by construction (the generator and the engine both
+// emit in time order), so delta encoding plus varints makes a keystroke cost
+// two or three bytes. The footer makes truncation and bit-rot detectable:
+// decode rejects a trace whose byte stream underruns, whose trailing count
+// disagrees with the events decoded, whose checksum mismatches, or which
+// carries trailing garbage. A rejected trace yields no events at all —
+// replaying half a workload would silently skew every soak statistic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/event.h"
+
+namespace sprite::wl {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54575053;  // "SPWT"
+inline constexpr std::uint16_t kTraceFormat = 1;
+
+// Streaming encoder. add() must be called in non-decreasing time order.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::uint64_t seed);
+
+  void add(const WorkloadEvent& e);
+  std::int64_t count() const { return count_; }
+
+  // Appends the footer and returns the finished byte stream. The writer is
+  // spent afterwards.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  sim::Time last_;
+  std::int64_t count_ = 0;
+  bool finished_ = false;
+};
+
+struct ParsedTrace {
+  std::uint64_t seed = 0;
+  std::vector<WorkloadEvent> events;
+};
+
+// Encodes a whole event list (record helper for tests and the engine).
+std::vector<std::uint8_t> encode_trace(std::uint64_t seed,
+                                       const std::vector<WorkloadEvent>& evs);
+
+// Full validation: header, per-event decode, footer count, checksum, no
+// trailing bytes. Any violation rejects the whole trace.
+util::Result<ParsedTrace> decode_trace(const std::vector<std::uint8_t>& bytes);
+
+// File round-trip for benches (`bench_soak --record/--replay`).
+util::Status write_trace_file(const std::string& path,
+                              const std::vector<std::uint8_t>& bytes);
+util::Result<ParsedTrace> read_trace_file(const std::string& path);
+
+}  // namespace sprite::wl

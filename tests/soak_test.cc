@@ -1,0 +1,98 @@
+// Short soak: the workload engine over faults, partitions, and
+// autocheckpoint (ctest -L soak; CI's bounded smoke).
+//
+// These runs are deliberately small versions of bench_soak's week: a few
+// simulated hours, a rotating crash schedule, one partition, autocheckpoint
+// on. What they assert is the subsystem's core invariant — every submitted
+// job reaches exactly one terminal state and no process incarnation is lost
+// or duplicated, no matter how the fault schedule interleaves with the
+// workload — plus the record/replay determinism contract under faults.
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+#include "workload/soak.h"
+
+namespace sprite::wl {
+namespace {
+
+using sim::Time;
+
+SoakOptions short_soak(std::uint64_t seed) {
+  SoakOptions opts;
+  opts.workstations = 10;
+  opts.seed = seed;
+  opts.sessions.users = 30;
+  opts.sessions.horizon = Time::hours(8);
+  opts.sessions.batch_per_hour = 6.0;
+  opts.crash_period = Time::hours(2);
+  opts.reboot_after = Time::minutes(2);
+  opts.partition_period = Time::hours(3);
+  opts.ckpt_interval = Time::minutes(5);
+  return opts;
+}
+
+TEST(SoakTest, ShortSoakKeepsTheIncarnationInvariant) {
+  SoakHarness harness(short_soak(101));
+  const SoakReport r = harness.run();
+  SCOPED_TRACE(r.to_string());
+
+  // The fault plan actually ran.
+  EXPECT_GE(r.crashes, 3);
+  EXPECT_GE(r.reboots, 3);
+  EXPECT_GT(r.links_cut, 0);
+  EXPECT_GT(r.checkpoints, 0);
+
+  // The workload actually exercised the cluster.
+  EXPECT_GT(r.workload.sessions_begun, 50);
+  EXPECT_GT(r.workload.jobs_submitted, 50);
+  EXPECT_GT(r.workload.jobs_finished, 0);
+
+  // The invariant: nothing lost, nothing duplicated.
+  EXPECT_TRUE(r.audit.ok()) << r.audit.lost << " lost, " << r.audit.duplicated
+                            << " duplicated";
+  for (const auto& p : r.audit.problems) ADD_FAILURE() << p;
+}
+
+TEST(SoakTest, MigrationRecoversCpuAndOwnersGetTheirMachinesBack) {
+  SoakOptions opts = short_soak(202);
+  opts.faults = false;  // clean run isolates the load-sharing numbers
+  SoakHarness harness(opts);
+  const SoakReport r = harness.run();
+  SCOPED_TRACE(r.to_string());
+
+  EXPECT_TRUE(r.audit.ok());
+  EXPECT_GT(r.foreign_cpu_s, 0.0) << "no CPU was ever delivered remotely";
+  EXPECT_GT(r.utilization_recovered, 0.0);
+  if (r.evictions > 0) {
+    EXPECT_GT(r.evict_p99_ms, 0.0);
+    EXPECT_LE(r.evict_p50_ms, r.evict_p99_ms);
+  }
+}
+
+TEST(SoakTest, RecordedSoakReplaysByteIdenticallyUnderFaults) {
+  SoakOptions opts = short_soak(303);
+  opts.sessions.horizon = Time::hours(6);
+  opts.engine.record = true;
+
+  SoakHarness first(opts);
+  const SoakReport r1 = first.run();
+  EXPECT_TRUE(r1.audit.ok());
+  const auto bytes = first.take_recorded_trace();
+  ASSERT_FALSE(bytes.empty());
+
+  auto parsed = decode_trace(bytes);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+
+  SoakHarness second(opts);
+  const SoakReport r2 = second.run_replay(std::move(*parsed));
+  EXPECT_TRUE(r2.audit.ok());
+  EXPECT_EQ(second.take_recorded_trace(), bytes)
+      << "replay re-recorded a different trace";
+  // Same event stream + same cluster seed => identical workload outcome.
+  EXPECT_EQ(r2.workload.jobs_submitted, r1.workload.jobs_submitted);
+  EXPECT_EQ(r2.workload.jobs_finished, r1.workload.jobs_finished);
+  EXPECT_EQ(r2.workload.sessions_begun, r1.workload.sessions_begun);
+}
+
+}  // namespace
+}  // namespace sprite::wl

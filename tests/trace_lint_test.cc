@@ -29,6 +29,7 @@
 #include "rpc/rpc.h"
 #include "sim/fault.h"
 #include "trace/trace.h"
+#include "workload/soak.h"
 
 namespace sprite::trace {
 namespace {
@@ -410,6 +411,50 @@ TEST(TraceLintTest, CheckpointMetricsRegisteredAndFlightNoted) {
 
   lint_chrome_json(tr);
   lint_metric_names(tr);
+}
+
+// Workload/soak metric inventory: every workload.* and soak.* name the
+// subsystem documents must be registered (and lint-clean) after a short
+// engine-driven run on the soak harness.
+TEST(TraceLintTest, WorkloadAndSoakMetricsRegistered) {
+  wl::SoakOptions opts;
+  opts.workstations = 4;
+  opts.seed = 3;
+  opts.sessions.users = 8;
+  opts.sessions.horizon = Time::minutes(40);
+  opts.faults = false;  // keep the lint run quick; fault metrics have their
+                        // own inventory coverage
+  wl::SoakHarness harness(opts);
+  harness.run();
+
+  JsonValue root;
+  ASSERT_TRUE(
+      JsonParser(harness.cluster().sim().trace().metrics_json()).parse(root));
+  std::map<std::string, bool> want = {
+      {"workload.event.applied", false},  {"workload.event.skipped", false},
+      {"workload.session.begun", false},  {"workload.session.ended", false},
+      {"workload.session.active", false}, {"workload.keystroke.applied", false},
+      {"workload.job.submitted", false},  {"workload.job.launched", false},
+      {"workload.job.placed", false},     {"workload.job.finished", false},
+      {"workload.job.crashed", false},    {"workload.job.dropped", false},
+      {"workload.job.queued", false},     {"workload.job.running", false},
+      {"workload.job.backlog", false},    {"workload.storm.begun", false},
+      {"workload.storm.finished", false}, {"workload.storm.crashed", false},
+      {"proc.cpu.foreign_us", false},     {"soak.residency.foreign", false},
+      {"soak.util.recovered", false},     {"ls.eviction.latency_ms", false},
+  };
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* s = root.get(section);
+    ASSERT_NE(s, nullptr);
+    for (const JsonValue& m : s->arr) {
+      auto it = want.find(m.get_str("name"));
+      if (it != want.end()) it->second = true;
+    }
+  }
+  for (const auto& [name, seen] : want)
+    EXPECT_TRUE(seen) << "workload/soak metric not registered: " << name;
+
+  lint_metric_names(harness.cluster().sim().trace());
 }
 
 }  // namespace
